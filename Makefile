@@ -1,0 +1,37 @@
+# go-ttg build/test/benchmark entry points.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure at laptop scale (use FLAGS="-full -threads 64"
+# on a big machine).
+figures:
+	$(GO) run ./cmd/ttg-bench $(FLAGS) all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/cholesky -n 256 -b 32
+	$(GO) run ./examples/wavefront -n 1024 -b 128
+	$(GO) run ./examples/heat -n 128 -b 32 -steps 30
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,91 @@
+// Command taskbench runs the parameterized Task-Bench benchmark (paper
+// §V-D) on a selectable runtime, mirroring the upstream task-bench CLI.
+//
+// Example:
+//
+//	taskbench -pattern stencil_1d -width 4 -steps 1000 -flops 10000 -runtime ttg -threads 4
+//	taskbench -list
+//	taskbench -runtime all -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gottg/internal/taskbench"
+)
+
+var (
+	flagPattern = flag.String("pattern", "stencil_1d", "dependency pattern: trivial|no_comm|stencil_1d|fft|random_nearest")
+	flagWidth   = flag.Int("width", 4, "points per timestep")
+	flagSteps   = flag.Int("steps", 1000, "timesteps")
+	flagFlops   = flag.Int("flops", 10000, "flops per task")
+	flagRuntime = flag.String("runtime", "ttg", "runtime to use (substring of a runner name, or 'all')")
+	flagThreads = flag.Int("threads", 1, "worker threads")
+	flagVerify  = flag.Bool("verify", false, "check checksums against the sequential reference")
+	flagList    = flag.Bool("list", false, "list available runners and exit")
+	flagRanks   = flag.Int("ranks", 0, "run the TTG implementation across N simulated ranks instead")
+)
+
+func main() {
+	flag.Parse()
+	runners := taskbench.StandardRunners()
+	if *flagList {
+		for _, r := range runners {
+			fmt.Println(r.Name())
+		}
+		return
+	}
+	pat, err := taskbench.ParsePattern(*flagPattern)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	spec := taskbench.Spec{Pattern: pat, Width: *flagWidth, Steps: *flagSteps, Flops: *flagFlops}
+	var want float64
+	if *flagVerify {
+		want = spec.Reference()
+	}
+	if *flagRanks > 0 {
+		res := taskbench.RunDistributedTTG(spec, *flagRanks, *flagThreads)
+		status := ""
+		if *flagVerify {
+			if res.Checksum == want {
+				status = "  checksum OK"
+			} else {
+				status = fmt.Sprintf("  CHECKSUM MISMATCH (got %v want %v)", res.Checksum, want)
+			}
+		}
+		fmt.Printf("%-44s %10d tasks  %12v total  %10v/task%s\n",
+			fmt.Sprintf("TTG distributed (%d ranks)", *flagRanks), res.Tasks, res.Elapsed, res.PerTask(), status)
+		return
+	}
+	matched := 0
+	for _, r := range runners {
+		if *flagRuntime != "all" && !strings.Contains(strings.ToLower(r.Name()), strings.ToLower(*flagRuntime)) {
+			continue
+		}
+		if !r.Supports(pat) {
+			fmt.Printf("%-44s pattern %s unsupported, skipped\n", r.Name(), pat)
+			continue
+		}
+		matched++
+		res := r.Run(spec, *flagThreads)
+		status := ""
+		if *flagVerify {
+			if res.Checksum == want {
+				status = "  checksum OK"
+			} else {
+				status = fmt.Sprintf("  CHECKSUM MISMATCH (got %v want %v)", res.Checksum, want)
+			}
+		}
+		fmt.Printf("%-44s %10d tasks  %12v total  %10v/task%s\n",
+			r.Name(), res.Tasks, res.Elapsed, res.PerTask(), status)
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "no runner matches %q; use -list\n", *flagRuntime)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+
+	"gottg/internal/bench"
+	"gottg/internal/mra"
+	"gottg/internal/perfmodel"
+	"gottg/internal/rt"
+)
+
+// fig12 regenerates the MRA thread-scaling study (paper Fig. 12): time to
+// solution of the three-phase multiwavelet computation under original and
+// optimized TTG for several function counts.
+func fig12(c *ctx) {
+	t := bench.NewTable("Fig 12: MRA time to solution", "threads", "seconds")
+	nfuncs := []int{8, 16, 32}
+	if c.full {
+		nfuncs = []int{64, 128, 256} // the paper's counts
+	}
+	maxT := defaultInt(c.maxT, 64)
+	threadList := bench.ThreadList(maxT)
+
+	if c.measured() {
+		// Warm up the process (allocator, code paths) so the first measured
+		// configuration is not penalized.
+		warm := mra.DefaultProblem(2)
+		cfg := rt.OptimizedConfig(1)
+		cfg.PinWorkers = false
+		mra.Run(warm, cfg)
+	}
+
+	for _, nf := range nfuncs {
+		p := mra.DefaultProblem(nf)
+		if c.full {
+			p.K = 10
+			p.Tol = 1e-6
+			p.MaxLevel = 10
+			for i := range p.Funcs {
+				p.Funcs[i].Expnt = 30000
+			}
+		}
+		for _, variant := range []struct {
+			name string
+			mk   func(int) rt.Config
+		}{
+			{"TTG (original)", rt.OriginalConfig},
+			{"TTG (optimized)", rt.OptimizedConfig},
+		} {
+			var t1 float64
+			var taskNs float64
+			if c.measured() {
+				for _, nt := range c.measurableThreads(threadList) {
+					cfg := variant.mk(nt)
+					cfg.PinWorkers = false
+					_, res := mra.Run(p, cfg)
+					sec := res.Elapsed.Seconds()
+					t.Add(fmt.Sprintf("%s nf=%d (measured)", variant.name, nf), float64(nt), sec)
+					if nt == 1 {
+						t1 = sec
+						if res.Tasks > 0 {
+							taskNs = sec * 1e9 / float64(res.Tasks)
+						}
+						fmt.Printf("#   %s nf=%d: %d tasks, depth %d, %d leaves (1 thread: %.3fs)\n",
+							variant.name, nf, res.Tasks, res.Stats.MaxDepth, res.Stats.Leaves, sec)
+					}
+				}
+			}
+			if c.modeled() {
+				if taskNs == 0 {
+					taskNs = 40_000 // fallback mean task grain (~15µs GEMM work)
+					t1 = 1
+				}
+				m := mraModel(c, variant.name, taskNs)
+				for _, nt := range threadList {
+					t.Add(fmt.Sprintf("%s nf=%d (modeled)", variant.name, nf),
+						float64(nt), t1/m.Speedup(nt))
+				}
+			}
+		}
+	}
+	c.printTable(t)
+}
+
+// mraModel builds a whole-app contention model from a measured mean task
+// grain (ns per task including runtime overhead).
+func mraModel(c *ctx, name string, taskNs float64) perfmodel.Model {
+	cal := c.calibration()
+	var m perfmodel.Model
+	if name == "TTG (original)" {
+		m = cal.OriginalTTG(0, c.ghz)
+		m.TaskNs = taskNs - cal.LFQOverheadNs
+	} else {
+		m = cal.LLP(0, c.ghz)
+		m.TaskNs = taskNs - cal.LLPOverheadNs
+	}
+	if m.TaskNs < 1 {
+		m.TaskNs = taskNs
+	}
+	return m
+}

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gottg/internal/bench"
+	"gottg/internal/core"
+	"gottg/internal/omptask"
+	"gottg/internal/perfmodel"
+	"gottg/internal/rt"
+	"gottg/internal/spin"
+	"gottg/internal/taskbench"
+	"gottg/internal/taskflow"
+	"gottg/internal/xsync"
+)
+
+// fig1 measures per-operation latency of atomic increments on a contended
+// shared variable vs. thread-private padded variables (paper Fig. 1).
+func fig1(c *ctx) {
+	t := bench.NewTable("Fig 1: atomic increment latency", "threads", "ns/op")
+	iters := 1 << 20
+	if c.full {
+		iters = 1 << 24
+	}
+	maxT := defaultInt(c.maxT, 64)
+	for _, nt := range bench.ThreadList(maxT) {
+		if c.measured() && nt <= c.hostCPUs {
+			t.Add("contended (measured)", float64(nt), measureAtomic(nt, iters, true))
+			t.Add("thread-local (measured)", float64(nt), measureAtomic(nt, iters, false))
+		}
+		if c.modeled() {
+			t.Add("contended (modeled)", float64(nt),
+				c.arch.UncontendedNs+c.arch.ContendedSlopeNs*float64(nt-1))
+			t.Add("thread-local (modeled)", float64(nt), c.arch.UncontendedNs)
+		}
+	}
+	c.printTable(t)
+}
+
+func measureAtomic(threads, iters int, contended bool) float64 {
+	var shared xsync.PaddedInt64
+	locals := make([]xsync.PaddedInt64, threads)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			target := &locals[i].V
+			if contended {
+				target = &shared.V
+			}
+			for j := 0; j < iters; j++ {
+				target.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return float64(time.Since(t0).Nanoseconds()) / float64(iters)
+}
+
+// fig2 renders the Task-Bench template task graph of paper Fig. 2a in
+// Graphviz dot format.
+func fig2(c *ctx) {
+	cfg := rt.OptimizedConfig(1)
+	cfg.PinWorkers = false
+	s := taskbench.Spec{Pattern: taskbench.Stencil1D, Width: 4, Steps: 4}
+	g := taskbench.BuildTTGGraph(s, cfg)
+	fmt.Println("# Fig 2a: Task-Bench template task graph (render with graphviz)")
+	fmt.Print(g.Dot())
+	g.MakeExecutable()
+	g.Wait() // nothing seeded: terminates immediately
+}
+
+// fig5 measures minimum task latency for a serialized chain of tasks with a
+// varying number of data flows / dependencies on one thread (paper Fig. 5).
+func fig5(c *ctx) {
+	t := bench.NewTable("Fig 5: minimum task latency, single-thread chain",
+		"flows", "ns/task")
+	n := 100_000
+	if c.full {
+		n = 1_000_000
+	}
+	for flows := 1; flows <= 6; flows++ {
+		t.Add("TTG (move)", float64(flows), fig5TTG(flows, n, false))
+		t.Add("TTG (copy)", float64(flows), fig5TTG(flows, n, true))
+		t.Add("OpenMP-like tasks", float64(flows), fig5OMP(flows, n/4))
+		if flows == 1 {
+			t.Add("TaskFlow-like", 1, fig5Taskflow(n))
+		}
+	}
+	c.printTable(t)
+}
+
+// fig5TTG runs a chain of n tasks with `flows` parallel data flows between
+// consecutive tasks; move forwards the input copies, copy re-wraps values.
+func fig5TTG(flows, n int, copyData bool) float64 {
+	cfg := rt.OptimizedConfig(1)
+	cfg.PinWorkers = false
+	g := core.New(cfg)
+	edges := make([]*core.Edge, flows)
+	limit := uint64(n)
+	pt := g.NewTT("point", flows, flows, func(tc core.TaskContext) {
+		k := tc.Key()
+		if k >= limit {
+			return
+		}
+		for f := 0; f < flows; f++ {
+			if copyData {
+				tc.Send(f, k+1, tc.Value(f))
+			} else {
+				tc.SendInput(f, k+1, f)
+			}
+		}
+	})
+	for f := 0; f < flows; f++ {
+		edges[f] = core.NewEdge("flow")
+		pt.Out(f, edges[f])
+		edges[f].To(pt, f)
+	}
+	g.MakeExecutable()
+	t0 := time.Now()
+	for f := 0; f < flows; f++ {
+		g.InvokeInput(pt, f, 1, f)
+	}
+	g.Wait()
+	return float64(time.Since(t0).Nanoseconds()) / float64(n)
+}
+
+// fig5OMP runs the OpenMP-tasks analogue: a chain with `flows` dependencies
+// between successive tasks, one executing thread.
+func fig5OMP(flows, n int) float64 {
+	r := omptask.New(1)
+	defer r.Close()
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		deps := make([]omptask.Dep, flows)
+		for f := 0; f < flows; f++ {
+			deps[f] = omptask.Out(uint64(f))
+		}
+		r.Submit(deps, func(int) {})
+	}
+	r.Wait()
+	return float64(time.Since(t0).Nanoseconds()) / float64(n)
+}
+
+// fig5Taskflow runs a static chain (TaskFlow supports control flow only).
+func fig5Taskflow(n int) float64 {
+	g := taskflow.NewGraph()
+	var prev *taskflow.Node
+	for i := 0; i < n; i++ {
+		nd := g.Node(func(int) {})
+		if prev != nil {
+			prev.Precede(nd)
+		}
+		prev = nd
+	}
+	ex := taskflow.NewExecutor(1)
+	defer ex.Close()
+	t0 := time.Now()
+	ex.Run(g)
+	return float64(time.Since(t0).Nanoseconds()) / float64(n)
+}
+
+// fig6 compares the LFQ and LLP schedulers under the binary-tree pressure
+// benchmark (paper Fig. 6): overhead vs task duration (fig6a) and speedup
+// vs threads (fig6b).
+func fig6(c *ctx, overheadView bool) {
+	title := "Fig 6b: LFQ vs LLP thread-scaling speedup (binary tree)"
+	if overheadView {
+		title = "Fig 6a: LFQ vs LLP relative overhead (binary tree)"
+	}
+	t := bench.NewTable(title, map[bool]string{true: "task cycles", false: "threads"}[overheadView], map[bool]string{true: "overhead %", false: "speedup"}[overheadView])
+	height := 16
+	if c.full {
+		height = 22 // the paper's ~4M tasks
+	}
+	maxT := defaultInt(c.maxT, 64)
+	cycleList := []int{0, 500, 1000, 10000, 40000, 100000}
+	threadList := bench.ThreadList(maxT)
+
+	cal := c.calibration()
+	for _, kind := range []rt.SchedKind{rt.SchedLFQ, rt.SchedLLP} {
+		// Measured single-thread baseline (and any truly measurable thread
+		// counts).
+		base := map[int]float64{} // cycles -> t1 seconds
+		if c.measured() {
+			for _, cyc := range cycleList {
+				base[cyc] = fig6Run(kind, 1, height, cyc)
+			}
+		}
+		if overheadView {
+			for _, cyc := range cycleList {
+				if cyc == 0 {
+					continue
+				}
+				if c.measured() {
+					// Management share: the empty-task run time is the
+					// runtime's own cost for the same task count.
+					t.Add(fmt.Sprintf("%s 1T (measured)", kind), float64(cyc),
+						100*base[0]/base[cyc])
+				}
+				if c.modeled() {
+					for _, nt := range threadList {
+						m := schedModel(cal, kind, cyc, c.ghz)
+						t.Add(fmt.Sprintf("%s %dT (modeled)", kind, nt), float64(cyc), m.OverheadPct(nt))
+					}
+				}
+			}
+		} else {
+			for _, cyc := range []int{0, 500, 10000, 100000} {
+				for _, nt := range threadList {
+					if c.measured() && nt <= c.hostCPUs && nt > 1 {
+						tn := fig6Run(kind, nt, height, cyc)
+						t.Add(fmt.Sprintf("%s %dcyc (measured)", kind, cyc), float64(nt), base[cyc]/tn)
+					}
+					if c.modeled() {
+						m := schedModel(cal, kind, cyc, c.ghz)
+						t.Add(fmt.Sprintf("%s %dcyc (modeled)", kind, cyc), float64(nt), m.Speedup(nt))
+					}
+				}
+			}
+		}
+	}
+	c.printTable(t)
+}
+
+// schedModel builds the contention model for a scheduler at a task size.
+func schedModel(cal perfmodel.Calibration, kind rt.SchedKind, cycles int, ghz float64) perfmodel.Model {
+	if kind == rt.SchedLFQ {
+		return cal.LFQ(cycles, ghz)
+	}
+	return cal.LLP(cycles, ghz)
+}
+
+// fig6Run executes the binary-tree benchmark (pure control flow, single
+// input, hash table bypassed) and returns elapsed seconds.
+func fig6Run(kind rt.SchedKind, threads, height, cycles int) float64 {
+	cfg := rt.Config{
+		Workers:             threads,
+		Sched:               kind,
+		ThreadLocalTermDet:  true,
+		BiasedRWLock:        true,
+		HTBypassSingleInput: true,
+		UsePools:            true,
+	}.Normalize()
+	cfg.PinWorkers = false
+	g := core.New(cfg)
+	e := core.NewEdge("tree")
+	iters := spin.ItersForCycles(cycles)
+	var executed atomic.Int64
+	tt := g.NewTT("node", 1, 1, func(tc core.TaskContext) {
+		executed.Add(1)
+		if iters > 0 {
+			spin.Work(iters)
+		}
+		lvl, idx := core.Unpack2(tc.Key())
+		if int(lvl) < height {
+			tc.SendControl(0, core.Pack2(lvl+1, idx*2))
+			tc.SendControl(0, core.Pack2(lvl+1, idx*2+1))
+		}
+	})
+	tt.Out(0, e)
+	e.To(tt, 0)
+	g.MakeExecutable()
+	t0 := time.Now()
+	g.InvokeControl(tt, core.Pack2(0, 0))
+	g.Wait()
+	return time.Since(t0).Seconds()
+}

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"gottg/internal/bench"
+	"gottg/internal/perfmodel"
+	"gottg/internal/rt"
+	"gottg/internal/taskbench"
+)
+
+// flopsSweep returns the flops-per-task grid (paper: 1e8 down to 1e2).
+func (c *ctx) flopsSweep() []int {
+	if c.full {
+		return bench.GeoRange(100_000_000, 100, 10)
+	}
+	return bench.GeoRange(1_000_000, 100, 10)
+}
+
+// kernelSink defeats dead-code elimination of the measurement kernel.
+var kernelSink float64
+
+// nsPerFlop measures the kernel's per-flop cost once.
+func nsPerFlop() float64 {
+	s := taskbench.Spec{Flops: 4_000_000}
+	t0 := time.Now()
+	kernelSink += s.Kernel(1)
+	return float64(time.Since(t0).Nanoseconds()) / float64(s.Flops)
+}
+
+// figTaskBench regenerates Figs. 7/8/10/11: per-task core time and
+// efficiency for every contender, plus METG(50%).
+func figTaskBench(c *ctx, title string, threads int, modeledScaling bool) {
+	steps := 200
+	if c.full {
+		steps = 1000 // the paper's setting
+	}
+	width := threads
+	base := taskbench.Spec{Pattern: taskbench.Stencil1D, Width: width, Steps: steps}
+	flopsList := c.flopsSweep()
+
+	tTime := bench.NewTable(title+" — core time per task", "flops/task", "seconds")
+	tEff := bench.NewTable(title+" — efficiency", "flops/task", "%")
+	fmt.Printf("# %s: width=%d steps=%d\n", title, width, steps)
+
+	measuredThreads := threads
+	if measuredThreads > c.hostCPUs {
+		measuredThreads = c.hostCPUs
+	}
+	npf := nsPerFlop()
+
+	for _, r := range taskbench.StandardRunners() {
+		if !r.Supports(base.Pattern) {
+			continue
+		}
+		var pts []taskbench.CurvePoint
+		if c.measured() {
+			mBase := base
+			mBase.Width = measuredThreads
+			if mBase.Width < 1 {
+				mBase.Width = 1
+			}
+			pts = taskbench.Sweep(r, mBase, measuredThreads, flopsList, 0)
+			for _, p := range pts {
+				tTime.Add(r.Name()+" (measured)", float64(p.Flops), p.CoreTimeSec)
+				tEff.Add(r.Name()+" (measured)", float64(p.Flops), 100*p.Efficiency)
+			}
+			if m := taskbench.METG(pts, 0.5); m >= 0 {
+				fmt.Printf("#   METG(50%%) %-36s = %d flops/task (measured, %d threads)\n",
+					r.Name(), m, measuredThreads)
+			}
+		}
+		if c.modeled() && modeledScaling && threads > c.hostCPUs {
+			// Project the full-thread-count curves from the measured
+			// single-thread overhead of this runner.
+			o := runnerOverheadNs(r, base, npf)
+			for _, f := range flopsList {
+				m := runnerModel(c, r.Name(), o, f, npf)
+				ct := m.CoreTimePerTaskNs(threads) * 1e-9
+				tTime.Add(r.Name()+" (modeled)", float64(f), ct)
+				// Efficiency relative to best single-core rate (Fig. 8b).
+				ideal := float64(f) * npf * 1e-9
+				tEff.Add(r.Name()+" (modeled)", float64(f), 100*ideal/ct)
+			}
+		}
+	}
+	c.printTable(tTime)
+	c.printTable(tEff)
+}
+
+// runnerOverheadNs measures a runner's per-task overhead at one thread with
+// near-empty tasks.
+func runnerOverheadNs(r taskbench.Runner, base taskbench.Spec, npf float64) float64 {
+	s := base
+	s.Width = 1
+	s.Steps = 2000
+	s.Flops = 2
+	res := r.Run(s, 1)
+	o := float64(res.Elapsed.Nanoseconds())/float64(res.Tasks) - float64(s.Flops)*npf
+	if o < 1 {
+		o = 1
+	}
+	return o
+}
+
+// runnerModel builds the contention model for a named contender.
+func runnerModel(c *ctx, name string, overheadNs float64, flops int, npf float64) perfmodel.Model {
+	cal := c.calibration()
+	m := perfmodel.Model{
+		TaskNs:     float64(flops) * npf,
+		OverheadNs: overheadNs,
+		Arch:       c.arch,
+	}
+	switch {
+	case name == "TTG (original)" || name == "PaRSEC PTG (orig)":
+		// LFQ's globally locked overflow FIFO + contended process counters.
+		m.SerialNs = cal.LFQGlobalNs
+		m.SerialPerThreadNs = c.arch.ContendedSlopeNs
+		m.ContendedOps = 2
+	case name == "OpenMP Parallel For (workshare)":
+		// Fork-join barrier each timestep: one task per thread per step,
+		// so the barrier cost lands on every task.
+		m.ContendedOps = cal.BarrierNsPerThread / c.arch.ContendedSlopeNs
+	case name == "OpenMP Tasks (central queue)":
+		// Every push/pop serializes on the team lock.
+		m.SerialNs = overheadNs / 2
+		m.SerialPerThreadNs = c.arch.ContendedSlopeNs
+	case name == "Legion (deferred execution)":
+		// Dependence analysis is a serial pipeline stage.
+		m.SerialNs = overheadNs * 0.8
+	case name == "PaRSEC DTD (insert_task)":
+		// Task insertion (and its dependence inference) is sequential by
+		// model: one inserter thread bounds throughput.
+		m.SerialNs = overheadNs * 0.5
+	case name == "TaskFlow (static DAG)":
+		m.ContendedOps = 1
+	case name == "MPI (message passing)":
+		// No shared task structures at all.
+	default:
+		// TTG/PTG optimized: local queues, thread-local counters.
+	}
+	return m
+}
+
+// fig9 isolates the contribution of thread-local termination detection and
+// the BRAVO reader-writer lock (paper Fig. 9), running TTG Task-Bench under
+// the three instrumented configurations.
+func fig9(c *ctx) {
+	steps := 200
+	if c.full {
+		steps = 1000
+	}
+	flopsList := c.flopsSweep()
+	t := bench.NewTable("Fig 9: breakdown of optimizations (TTG, stencil_1d)",
+		"flops/task", "core time per task [s]")
+	configs := []struct {
+		name string
+		mk   func(threads int) rt.Config
+	}{
+		{"TTG (Four-Counter Termdet)", func(th int) rt.Config {
+			cfg := rt.OptimizedConfig(th)
+			cfg.ThreadLocalTermDet = false
+			cfg.BiasedRWLock = false
+			cfg.PinWorkers = false
+			return cfg
+		}},
+		{"TTG (Thread-Local Termdet)", func(th int) rt.Config {
+			cfg := rt.OptimizedConfig(th)
+			cfg.BiasedRWLock = false
+			cfg.PinWorkers = false
+			return cfg
+		}},
+		{"TTG (Thread-Local Termdet & Biased RWLock)", func(th int) rt.Config {
+			cfg := rt.OptimizedConfig(th)
+			cfg.PinWorkers = false
+			return cfg
+		}},
+	}
+	threads := defaultInt(c.maxT, 64)
+	measuredThreads := threads
+	if measuredThreads > c.hostCPUs {
+		measuredThreads = c.hostCPUs
+	}
+	npf := nsPerFlop()
+	cal := c.calibration()
+	for i, cc := range configs {
+		if c.measured() {
+			r := taskbench.TTGRunner{Label: cc.name, Cfg: cc.mk}
+			base := taskbench.Spec{Pattern: taskbench.Stencil1D, Width: measuredThreads, Steps: steps}
+			pts := taskbench.Sweep(r, base, measuredThreads, flopsList, 0)
+			for _, p := range pts {
+				t.Add(cc.name+" (measured)", float64(p.Flops), p.CoreTimeSec)
+			}
+		}
+		if c.modeled() && threads > c.hostCPUs {
+			// All three Fig. 9 configurations keep the LLP scheduler; they
+			// differ in contended shared atomics per task: the stencil
+			// touches ~3 hash-table buckets per task (2·3 reader-lock RMWs
+			// without BRAVO) and the four-counter termdet adds 2 more.
+			const htOps = 3
+			for _, f := range flopsList {
+				m := cal.LLP(0, c.ghz)
+				switch i {
+				case 0:
+					m.ContendedOps += 2 + 2*htOps // termdet + plain rwlock
+				case 1:
+					m.ContendedOps += 2 * htOps // plain rwlock only
+				}
+				m.TaskNs = float64(f) * npf
+				t.Add(cc.name+" (modeled)", float64(f), m.CoreTimePerTaskNs(threads)*1e-9)
+			}
+		}
+	}
+	c.printTable(t)
+}

@@ -1,0 +1,16 @@
+// Package gottg is a from-scratch Go implementation of the Template Task
+// Graph (TTG) data-flow programming system with the low-overhead runtime
+// optimizations described in "Pushing the Boundaries of Small Tasks:
+// Scalable Low-Overhead Data-Flow Programming in TTG" (Schuchart et al.,
+// IEEE CLUSTER 2022).
+//
+// The public API lives in gottg/ttg; the implementation in internal/core
+// (the TTG model) over internal/rt (the PaRSEC-equivalent runtime:
+// LLP/LFQ/LL schedulers, thread-local termination detection, per-worker
+// memory pools, reference-counted data copies) with substrates in
+// internal/{hashtable,rwlock,termdet,comm,xsync}.
+//
+// The benchmarks in bench_test.go regenerate one measurement per paper
+// table/figure; cmd/ttg-bench produces the full figures. See DESIGN.md for
+// the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package gottg

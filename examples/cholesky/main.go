@@ -1,0 +1,278 @@
+// Cholesky: tiled Cholesky factorization A = L·Lᵀ expressed as a TTG data
+// flow — the classic PaRSEC/TTG showcase. Tiles flow between four template
+// tasks (POTRF, TRSM, SYRK, GEMM); priorities steer execution along the
+// critical path (lower panel index first), exactly the use case the LLP
+// scheduler's priority support exists for (paper §IV-C).
+//
+//	POTRF(k):    A[k][k] -> L[k][k]            (after k SYRK updates)
+//	TRSM(m,k):   A[m][k], L[k][k] -> L[m][k]   (after k GEMM updates)
+//	SYRK(m,k):   A[m][m] -= L[m][k]·L[m][k]ᵀ
+//	GEMM(m,n,k): A[m][n] -= L[m][k]·L[n][k]ᵀ
+//
+// Run: go run ./examples/cholesky [-n 256] [-b 32] [-threads 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"gottg/ttg"
+)
+
+// tile is a b×b row-major block, flowing through the graph by reference
+// (TTG move semantics transfer ownership along the chain of its writers).
+type tile struct {
+	b int
+	a []float64
+}
+
+func newTile(b int) *tile { return &tile{b: b, a: make([]float64, b*b)} }
+
+// potrf factors t in place: t = chol(t) (lower).
+func potrf(t *tile) {
+	b := t.b
+	for j := 0; j < b; j++ {
+		d := t.a[j*b+j]
+		for k := 0; k < j; k++ {
+			d -= t.a[j*b+k] * t.a[j*b+k]
+		}
+		if d <= 0 {
+			panic("matrix not positive definite")
+		}
+		d = math.Sqrt(d)
+		t.a[j*b+j] = d
+		for i := j + 1; i < b; i++ {
+			s := t.a[i*b+j]
+			for k := 0; k < j; k++ {
+				s -= t.a[i*b+k] * t.a[j*b+k]
+			}
+			t.a[i*b+j] = s / d
+		}
+		for k := j + 1; k < b; k++ {
+			t.a[j*b+k] = 0
+		}
+	}
+}
+
+// trsm solves X·Lᵀ = A in place: a = a·L⁻ᵀ (L lower from potrf).
+func trsm(l, a *tile) {
+	b := a.b
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := a.a[i*b+j]
+			for k := 0; k < j; k++ {
+				s -= a.a[i*b+k] * l.a[j*b+k]
+			}
+			a.a[i*b+j] = s / l.a[j*b+j]
+		}
+	}
+}
+
+// syrk updates c -= l·lᵀ (we keep the full tile; only lower is used later).
+func syrk(l, c *tile) {
+	b := c.b
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := 0.0
+			for k := 0; k < b; k++ {
+				s += l.a[i*b+k] * l.a[j*b+k]
+			}
+			c.a[i*b+j] -= s
+		}
+	}
+}
+
+// gemm updates c -= a·bᵀ.
+func gemm(a, bb, c *tile) {
+	n := c.b
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += a.a[i*n+k] * bb.a[j*n+k]
+			}
+			c.a[i*n+j] -= s
+		}
+	}
+}
+
+func main() {
+	nFlag := flag.Int("n", 256, "matrix dimension")
+	bFlag := flag.Int("b", 32, "tile size")
+	tFlag := flag.Int("threads", 0, "worker threads (0 = one per CPU)")
+	flag.Parse()
+	n, b := *nFlag, *bFlag
+	if n%b != 0 {
+		fmt.Fprintln(os.Stderr, "n must be a multiple of b")
+		os.Exit(2)
+	}
+	nt := n / b // tiles per dimension
+
+	// Build a symmetric positive definite matrix A = M·Mᵀ + n·I.
+	orig := make([]float64, n*n)
+	rng := uint64(7)
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float64(rng%1000)/1000 - 0.5
+	}
+	m := make([]float64, n*n)
+	for i := range m {
+		m[i] = next()
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += m[i*n+k] * m[j*n+k]
+			}
+			if i == j {
+				s += float64(n)
+			}
+			orig[i*n+j] = s
+		}
+	}
+
+	// Cut A into tiles; result tiles are collected here as they finalize.
+	tiles := make([][]*tile, nt)
+	result := make([][]*tile, nt)
+	for i := range tiles {
+		tiles[i] = make([]*tile, nt)
+		result[i] = make([]*tile, nt)
+		for j := range tiles[i] {
+			t := newTile(b)
+			for ii := 0; ii < b; ii++ {
+				copy(t.a[ii*b:(ii+1)*b], orig[(i*b+ii)*n+j*b:(i*b+ii)*n+j*b+b])
+			}
+			tiles[i][j] = t
+		}
+	}
+
+	// ---- the TTG graph ----
+	g := ttg.New(ttg.OptimizedConfig(*tFlag))
+
+	ePotrfIn := ttg.NewEdge("potrf.in")  // diagonal tile ready for POTRF(k)
+	eL := ttg.NewEdge("Lkk")             // POTRF result to TRSM
+	eTrsmIn := ttg.NewEdge("trsm.in")    // panel tile ready for TRSM(m,k)
+	eLmkSyrk := ttg.NewEdge("Lmk.syrk")  // TRSM result to SYRK
+	eLmkGemmA := ttg.NewEdge("Lmk.gemm") // TRSM result to GEMM (row factor)
+	eLnkGemmB := ttg.NewEdge("Lnk.gemm") // TRSM result to GEMM (col factor)
+	eSyrkIn := ttg.NewEdge("syrk.in")    // diagonal tile between SYRK steps
+	eGemmIn := ttg.NewEdge("gemm.in")    // interior tile between GEMM steps
+
+	kOf := func(key uint64) uint32 { _, k := ttg.Unpack2(key); return k }
+
+	potrfTT := g.NewTT("POTRF", 1, 1, func(tc ttg.TaskContext) {
+		k := tc.Key()
+		t := tc.Value(0).(*tile)
+		potrf(t)
+		result[k][k] = t
+		for mm := k + 1; mm < uint64(nt); mm++ {
+			// Share L[k][k] read-only with every TRSM in the panel.
+			tc.SendInput(0, ttg.Pack2(uint32(mm), uint32(k)), 0)
+		}
+	}).WithPriority(func(key uint64) int32 { return 1 << 20 }) // critical path first
+
+	trsmTT := g.NewTT("TRSM", 2, 3, func(tc ttg.TaskContext) {
+		mm, k := ttg.Unpack2(tc.Key())
+		l := tc.Value(0).(*tile)
+		a := tc.Value(1).(*tile)
+		trsm(l, a)
+		result[mm][k] = a
+		// L[m][k] updates the diagonal via SYRK(m,k)...
+		tc.SendInput(0, tc.Key(), 1)
+		// ...and interior tiles via GEMM: as row factor for (m, nn>k..<m)
+		for nn := k + 1; nn < mm; nn++ {
+			tc.SendInput(1, ttg.Pack3(uint16(mm), uint32(nn), uint32(k)), 1)
+		}
+		// ...and as column factor for (mm2 > m, m)
+		for mm2 := mm + 1; mm2 < uint32(nt); mm2++ {
+			tc.SendInput(2, ttg.Pack3(uint16(mm2), uint32(mm), uint32(k)), 1)
+		}
+	}).WithPriority(func(key uint64) int32 { return 1<<19 - int32(kOf(key)) })
+
+	syrkTT := g.NewTT("SYRK", 2, 2, func(tc ttg.TaskContext) {
+		mm, k := ttg.Unpack2(tc.Key())
+		l := tc.Value(0).(*tile)
+		c := tc.Value(1).(*tile)
+		syrk(l, c)
+		if k+1 == mm {
+			tc.SendInput(0, uint64(mm), 1) // to POTRF(m)
+		} else {
+			tc.SendInput(1, ttg.Pack2(mm, k+1), 1) // next SYRK step
+		}
+	}).WithPriority(func(key uint64) int32 { return 1<<18 - int32(kOf(key)) })
+
+	gemmTT := g.NewTT("GEMM", 3, 2, func(tc ttg.TaskContext) {
+		m16, nn, k := ttg.Unpack3(tc.Key())
+		mm := uint32(m16)
+		a := tc.Value(0).(*tile)
+		bb := tc.Value(1).(*tile)
+		c := tc.Value(2).(*tile)
+		gemm(a, bb, c)
+		if k+1 == nn {
+			tc.SendInput(0, ttg.Pack2(mm, nn), 2) // to TRSM(m,n)
+		} else {
+			tc.SendInput(1, ttg.Pack3(m16, nn, k+1), 2) // next GEMM step
+		}
+	})
+
+	potrfTT.Out(0, eL)
+	trsmTT.Out(0, eLmkSyrk).Out(1, eLmkGemmA).Out(2, eLnkGemmB)
+	syrkTT.Out(0, ePotrfIn).Out(1, eSyrkIn)
+	gemmTT.Out(0, eTrsmIn).Out(1, eGemmIn)
+	ePotrfIn.To(potrfTT, 0)
+	eL.To(trsmTT, 0)
+	eTrsmIn.To(trsmTT, 1)
+	eLmkSyrk.To(syrkTT, 0)
+	eSyrkIn.To(syrkTT, 1)
+	eLmkGemmA.To(gemmTT, 0)
+	eLnkGemmB.To(gemmTT, 1)
+	eGemmIn.To(gemmTT, 2)
+
+	g.MakeExecutable()
+	// Seed: diagonal tiles enter POTRF(0) or their first SYRK; panel tiles
+	// enter TRSM(m,0) or their first GEMM.
+	for i := 0; i < nt; i++ {
+		for j := 0; j <= i; j++ {
+			t := tiles[i][j]
+			switch {
+			case i == 0 && j == 0:
+				g.Invoke(potrfTT, 0, t)
+			case i == j:
+				g.InvokeInput(syrkTT, 1, ttg.Pack2(uint32(i), 0), t)
+			case j == 0:
+				g.InvokeInput(trsmTT, 1, ttg.Pack2(uint32(i), 0), t)
+			default:
+				g.InvokeInput(gemmTT, 2, ttg.Pack3(uint16(i), uint32(j), 0), t)
+			}
+		}
+	}
+	g.Wait()
+
+	// Verify: max |(L·Lᵀ − A)[i][j]| over the lower triangle.
+	maxErr := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := 0.0
+			for k := 0; k <= j; k++ {
+				ti, tk := i/b, k/b
+				tj := j / b
+				lik := result[ti][tk].a[(i%b)*b+(k%b)]
+				ljk := result[tj][tk].a[(j%b)*b+(k%b)]
+				s += lik * ljk
+			}
+			if e := math.Abs(s - orig[i*n+j]); e > maxErr {
+				maxErr = e
+			}
+		}
+	}
+	fmt.Printf("cholesky: n=%d b=%d tiles=%dx%d  max|L·Lᵀ−A| = %.3g\n", n, b, nt, nt, maxErr)
+	if maxErr > 1e-8*float64(n) {
+		panic("factorization incorrect")
+	}
+	fmt.Println("factorization verified ✓")
+}

@@ -1,0 +1,59 @@
+// Quickstart: a three-stage data-flow pipeline on the public ttg API.
+//
+// generate ──> square ──> sum
+//
+// The generate task fans out N keyed values; each square task transforms
+// one value (move semantics — the datum is forwarded, not copied); the sum
+// task uses an aggregator terminal to gather all N results in one task.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"gottg/ttg"
+)
+
+func main() {
+	const n = 100
+
+	g := ttg.New(ttg.OptimizedConfig(0)) // 0 = one worker per CPU
+
+	values := ttg.NewEdge("values")
+	squares := ttg.NewEdge("squares")
+
+	generate := g.NewTT("generate", 1, 1, func(tc ttg.TaskContext) {
+		for i := uint64(0); i < n; i++ {
+			tc.Send(0, i, int(i))
+		}
+	})
+
+	square := g.NewTT("square", 1, 1, func(tc ttg.TaskContext) {
+		v := tc.Value(0).(int)
+		tc.Send(0, 0, v*v) // all results target the single sum task (key 0)
+	})
+
+	total := 0
+	sum := g.NewTT("sum", 1, 0, func(tc ttg.TaskContext) {
+		agg := tc.Aggregate(0)
+		for i := 0; i < agg.Len(); i++ {
+			total += agg.Value(i).(int)
+		}
+	}).WithAggregator(0, func(uint64) int { return n })
+
+	generate.Out(0, values)
+	square.Out(0, squares)
+	values.To(square, 0)
+	squares.To(sum, 0)
+
+	g.MakeExecutable()
+	g.InvokeControl(generate, 0)
+	g.Wait()
+
+	want := (n - 1) * n * (2*n - 1) / 6 // Σ i² for i < n
+	fmt.Printf("sum of squares 0..%d = %d (want %d)\n", n-1, total, want)
+	if total != want {
+		panic("wrong result")
+	}
+}

@@ -1,0 +1,3 @@
+module gottg
+
+go 1.22

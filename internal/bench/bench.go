@@ -1,0 +1,152 @@
+// Package bench holds shared harness utilities for cmd/ttg-bench: tabular
+// series output in a gnuplot-friendly format, environment capture, and
+// simple timing helpers.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table accumulates named series sampled at common x values and prints them
+// as an aligned text table (one row per x, one column per series) — the
+// textual equivalent of one paper figure.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	xs     []float64
+	series map[string]map[float64]float64
+	order  []string
+}
+
+// NewTable creates a table.
+func NewTable(title, xlabel, ylabel string) *Table {
+	return &Table{Title: title, XLabel: xlabel, YLabel: ylabel, series: map[string]map[float64]float64{}}
+}
+
+// Add records one sample.
+func (t *Table) Add(series string, x, y float64) {
+	m := t.series[series]
+	if m == nil {
+		m = map[float64]float64{}
+		t.series[series] = m
+		t.order = append(t.order, series)
+	}
+	if _, seen := m[x]; !seen {
+		found := false
+		for _, v := range t.xs {
+			if v == x {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.xs = append(t.xs, x)
+		}
+	}
+	m[x] = y
+}
+
+// Print renders the table.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n# x: %s   y: %s\n", t.Title, t.XLabel, t.YLabel)
+	xs := append([]float64(nil), t.xs...)
+	sort.Float64s(xs)
+	header := []string{fmt.Sprintf("%-12s", t.XLabel)}
+	for _, s := range t.order {
+		header = append(header, fmt.Sprintf("%22s", s))
+	}
+	fmt.Fprintln(w, strings.Join(header, " "))
+	for _, x := range xs {
+		row := []string{fmt.Sprintf("%-12g", x)}
+		for _, s := range t.order {
+			if y, ok := t.series[s][x]; ok {
+				row = append(row, fmt.Sprintf("%22.6g", y))
+			} else {
+				row = append(row, fmt.Sprintf("%22s", "-"))
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, " "))
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintCSV renders the table as comma-separated values (one header row,
+// one row per x) for downstream plotting tools.
+func (t *Table) PrintCSV(w io.Writer) {
+	xs := append([]float64(nil), t.xs...)
+	sort.Float64s(xs)
+	fmt.Fprintf(w, "%s", t.XLabel)
+	for _, s := range t.order {
+		fmt.Fprintf(w, ",%s", strings.ReplaceAll(s, ",", ";"))
+	}
+	fmt.Fprintln(w)
+	for _, x := range xs {
+		fmt.Fprintf(w, "%g", x)
+		for _, s := range t.order {
+			if y, ok := t.series[s][x]; ok {
+				fmt.Fprintf(w, ",%g", y)
+			} else {
+				fmt.Fprint(w, ",")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Series returns the y values of one series ordered by x.
+func (t *Table) Series(name string) (xs, ys []float64) {
+	m := t.series[name]
+	if m == nil {
+		return nil, nil
+	}
+	for x := range m {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		ys = append(ys, m[x])
+	}
+	return xs, ys
+}
+
+// Env prints a one-line description of the measurement environment.
+func Env(w io.Writer) {
+	fmt.Fprintf(w, "# host: %d CPUs, GOMAXPROCS=%d, %s/%s, %s\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0), runtime.GOOS, runtime.GOARCH, runtime.Version())
+}
+
+// Time runs f and returns its wall-clock duration.
+func Time(f func()) time.Duration {
+	t0 := time.Now()
+	f()
+	return time.Since(t0)
+}
+
+// GeoRange builds a geometric sequence from hi down to lo (inclusive-ish),
+// dividing by factor each step — the flops-per-task sweeps of Figs. 7–11.
+func GeoRange(hi, lo, factor int) []int {
+	var out []int
+	for v := hi; v >= lo; v /= factor {
+		out = append(out, v)
+	}
+	return out
+}
+
+// ThreadList returns the standard thread counts for scaling figures, capped
+// at max (e.g. 1,2,4,...,max).
+func ThreadList(max int) []int {
+	var out []int
+	for t := 1; t <= max; t *= 2 {
+		out = append(out, t)
+	}
+	if len(out) == 0 || out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAccumulatesAndPrints(t *testing.T) {
+	tb := NewTable("Fig X", "threads", "speedup")
+	tb.Add("LLP", 1, 1)
+	tb.Add("LLP", 2, 1.9)
+	tb.Add("LFQ", 1, 1)
+	tb.Add("LFQ", 2, 1.2)
+	tb.Add("LLP", 2, 1.95) // overwrite same x
+	var sb strings.Builder
+	tb.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"Fig X", "LLP", "LFQ", "1.95", "1.2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	xs, ys := tb.Series("LLP")
+	if len(xs) != 2 || xs[0] != 1 || ys[1] != 1.95 {
+		t.Fatalf("Series wrong: %v %v", xs, ys)
+	}
+	if xs, _ := tb.Series("missing"); xs != nil {
+		t.Fatal("missing series should be nil")
+	}
+}
+
+func TestTableMissingCells(t *testing.T) {
+	tb := NewTable("t", "x", "y")
+	tb.Add("a", 1, 10)
+	tb.Add("b", 2, 20)
+	var sb strings.Builder
+	tb.Print(&sb)
+	if !strings.Contains(sb.String(), "-") {
+		t.Fatal("missing cell not rendered as -")
+	}
+}
+
+func TestGeoRange(t *testing.T) {
+	got := GeoRange(1000000, 100, 10)
+	want := []int{1000000, 100000, 10000, 1000, 100}
+	if len(got) != len(want) {
+		t.Fatalf("GeoRange = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GeoRange = %v", got)
+		}
+	}
+}
+
+func TestThreadList(t *testing.T) {
+	got := ThreadList(12)
+	want := []int{1, 2, 4, 8, 12}
+	if len(got) != len(want) {
+		t.Fatalf("ThreadList = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ThreadList = %v", got)
+		}
+	}
+	if l := ThreadList(1); len(l) != 1 || l[0] != 1 {
+		t.Fatalf("ThreadList(1) = %v", l)
+	}
+	if l := ThreadList(64); l[len(l)-1] != 64 || len(l) != 7 {
+		t.Fatalf("ThreadList(64) = %v", l)
+	}
+}
+
+func TestTimeAndEnv(t *testing.T) {
+	d := Time(func() { time.Sleep(time.Millisecond) })
+	if d < time.Millisecond {
+		t.Fatalf("Time = %v", d)
+	}
+	var sb strings.Builder
+	Env(&sb)
+	if !strings.Contains(sb.String(), "CPUs") {
+		t.Fatal("Env output malformed")
+	}
+}
+
+func TestPrintCSV(t *testing.T) {
+	tb := NewTable("t", "x", "y")
+	tb.Add("a,b", 1, 10)
+	tb.Add("c", 2, 3.5)
+	var sb strings.Builder
+	tb.PrintCSV(&sb)
+	out := sb.String()
+	for _, want := range []string{"x,a;b,c", "1,10,", "2,,3.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package comm provides the inter-process communication substrate that TTG
+// uses for distributed-memory execution, simulated in-process: a World of N
+// ranks, each with an unbounded mailbox, an active-message dispatch loop
+// (PaRSEC's communication thread), and the 4-counter-wave termination
+// protocol of paper §III-A driven by rank 0.
+//
+// Payloads cross rank boundaries as []byte only, forcing the same
+// serialize/deserialize discipline a real network transport would; no Go
+// pointers are shared between ranks through this package.
+//
+// This is the documented substitution for MPI (see DESIGN.md): the protocol —
+// activation messages, sent/received accounting, quiescence probes, stability
+// detection over two consecutive reductions — is the paper's; only the wire
+// is a channel instead of a NIC.
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"gottg/internal/termdet"
+)
+
+// Reserved control tags (application tags must be >= 0).
+const (
+	tagProbe     = -1 // root -> all: contribute your counters when quiescent
+	tagReply     = -2 // all -> root: (sent, recvd) contribution
+	tagTerminate = -3 // root -> all: global termination
+)
+
+// Handler processes an application-level active message on the destination
+// rank's progress goroutine.
+type Handler func(src int, payload []byte)
+
+type message struct {
+	src     int
+	tag     int
+	payload []byte
+	a, b    int64 // control fields for wave messages
+}
+
+// mailbox is an unbounded MPSC queue with a wakeup channel usable in select.
+type mailbox struct {
+	mu    sync.Mutex
+	queue []message
+	note  chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{note: make(chan struct{}, 1)}
+}
+
+func (m *mailbox) push(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	select {
+	case m.note <- struct{}{}:
+	default:
+	}
+}
+
+func (m *mailbox) drain(buf []message) []message {
+	m.mu.Lock()
+	buf = append(buf[:0], m.queue...)
+	m.queue = m.queue[:0]
+	m.mu.Unlock()
+	return buf
+}
+
+// World is a set of simulated ranks sharing a termination wave.
+type World struct {
+	procs []*Proc
+}
+
+// NewWorld creates a world with n ranks. Each rank must have Start called
+// exactly once before messages flow.
+func NewWorld(n int) *World {
+	if n < 1 {
+		panic("comm: world size must be >= 1")
+	}
+	w := &World{procs: make([]*Proc, n)}
+	for i := range w.procs {
+		w.procs[i] = &Proc{
+			rank:     i,
+			world:    w,
+			mbox:     newMailbox(),
+			handlers: map[int]Handler{},
+			qNotify:  make(chan struct{}, 1),
+			quit:     make(chan struct{}),
+			stopped:  make(chan struct{}),
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.procs) }
+
+// Proc returns the rank r endpoint.
+func (w *World) Proc(r int) *Proc { return w.procs[r] }
+
+// Shutdown stops all progress goroutines. Safe after termination.
+func (w *World) Shutdown() {
+	for _, p := range w.procs {
+		p.stopOnce.Do(func() { close(p.quit) })
+		<-p.stopped
+	}
+}
+
+// Proc is one simulated rank: mailbox, handlers, detector, wave state.
+type Proc struct {
+	rank     int
+	world    *World
+	mbox     *mailbox
+	handlers map[int]Handler
+	det      *termdet.Detector
+
+	qNotify  chan struct{}
+	quit     chan struct{}
+	stopped  chan struct{}
+	stopOnce sync.Once
+
+	onTerminate func()
+
+	// non-root wave state (progress-goroutine-private)
+	replyOwed bool
+
+	// root wave state (progress-goroutine-private)
+	inRound      bool
+	roundNum     int
+	replies      int
+	sumS, sumR   int64
+	prevS, prevR int64
+	havePrev     bool
+	rounds       int // statistic
+}
+
+// Rank returns this endpoint's rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return len(p.world.procs) }
+
+// Register installs the handler for an application tag. Must be called
+// before Start.
+func (p *Proc) Register(tag int, h Handler) {
+	if tag < 0 {
+		panic(fmt.Sprintf("comm: tag %d is reserved", tag))
+	}
+	p.handlers[tag] = h
+}
+
+// Start attaches the rank's termination detector and termination callback
+// and launches the progress goroutine. The detector's quiescence callback is
+// claimed by comm; runtimes in distributed mode must not set their own.
+func (p *Proc) Start(det *termdet.Detector, onTerminate func()) {
+	p.det = det
+	p.onTerminate = onTerminate
+	det.SetOnQuiescent(func() {
+		select {
+		case p.qNotify <- struct{}{}:
+		default:
+		}
+	})
+	go p.progress()
+}
+
+// Send delivers an application payload to rank dst under tag. It accounts
+// the message in the termination protocol. Safe from any goroutine.
+func (p *Proc) Send(dst, tag int, payload []byte) {
+	if tag < 0 {
+		panic("comm: application sends must use tag >= 0")
+	}
+	p.det.MsgSent()
+	p.world.procs[dst].mbox.push(message{src: p.rank, tag: tag, payload: payload})
+}
+
+// sendControl delivers a wave control message (not counted).
+func (p *Proc) sendControl(dst, tag int, a, b int64) {
+	p.world.procs[dst].mbox.push(message{src: p.rank, tag: tag, a: a, b: b})
+}
+
+// Rounds reports how many reduction rounds the root performed (rank 0 only).
+func (p *Proc) Rounds() int { return p.rounds }
+
+func (p *Proc) progress() {
+	defer close(p.stopped)
+	var buf []message
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.qNotify:
+			p.handleQuiescent()
+		case <-p.mbox.note:
+			buf = p.mbox.drain(buf)
+			for _, m := range buf {
+				if p.dispatch(m) {
+					return // terminated
+				}
+			}
+		}
+	}
+}
+
+// dispatch processes one message; returns true on termination.
+func (p *Proc) dispatch(m message) bool {
+	switch m.tag {
+	case tagProbe:
+		if p.det.Quiescent() {
+			s, r := p.det.Counts()
+			p.sendControl(0, tagReply, s, r)
+		} else {
+			p.replyOwed = true
+		}
+	case tagReply:
+		p.collectReply(m.a, m.b)
+	case tagTerminate:
+		if p.onTerminate != nil {
+			p.onTerminate()
+		}
+		return true
+	default:
+		h := p.handlers[m.tag]
+		if h == nil {
+			panic(fmt.Sprintf("comm: rank %d: no handler for tag %d", p.rank, m.tag))
+		}
+		h(m.src, m.payload)
+		p.det.MsgRecvd()
+	}
+	return false
+}
+
+// handleQuiescent runs when the local detector announces quiescence.
+func (p *Proc) handleQuiescent() {
+	if !p.det.Quiescent() {
+		return // stale notification; work arrived meanwhile
+	}
+	if p.replyOwed {
+		p.replyOwed = false
+		s, r := p.det.Counts()
+		p.sendControl(0, tagReply, s, r)
+	}
+	if p.rank == 0 && !p.inRound {
+		p.startRound()
+	}
+}
+
+func (p *Proc) startRound() {
+	p.inRound = true
+	p.roundNum++
+	p.rounds++
+	p.replies = 0
+	p.sumS, p.sumR = 0, 0
+	for dst := range p.world.procs {
+		p.sendControl(dst, tagProbe, 0, 0)
+	}
+}
+
+func (p *Proc) collectReply(s, r int64) {
+	p.replies++
+	p.sumS += s
+	p.sumR += r
+	if p.replies < len(p.world.procs) {
+		return
+	}
+	// Reduction complete: terminate after two consecutive identical
+	// reductions with sent == received (the 4-counter wave condition).
+	stable := p.havePrev && p.sumS == p.sumR && p.sumS == p.prevS && p.sumR == p.prevR
+	p.prevS, p.prevR = p.sumS, p.sumR
+	p.havePrev = true
+	p.inRound = false
+	if stable {
+		for dst := range p.world.procs {
+			p.sendControl(dst, tagTerminate, 0, 0)
+		}
+		return
+	}
+	// Not stable yet: immediately try another round if still quiescent,
+	// otherwise wait for the next quiescence notification.
+	if p.det.Quiescent() {
+		p.startRound()
+	}
+}

@@ -1,0 +1,33 @@
+package core
+
+import "gottg/internal/rt"
+
+// Aggregate is the accumulated input of an aggregator terminal (paper
+// §V-D1): count(key) data items collected before the task runs. Items keep
+// their TTG-managed copies (no deep copies); their arrival order is
+// unspecified — bodies that care must order by information stored in the
+// payloads (the paper's sorted_insert pattern).
+type Aggregate struct {
+	items []*rt.Copy
+	need  int
+}
+
+// Len returns the number of accumulated items.
+func (a *Aggregate) Len() int { return len(a.items) }
+
+// Need returns the configured number of items for this task.
+func (a *Aggregate) Need() int { return a.need }
+
+// Value returns item i's payload.
+func (a *Aggregate) Value(i int) any { return a.items[i].Val }
+
+// Copy returns item i's raw copy (to forward with TaskContext.SendCopy).
+func (a *Aggregate) Copy(i int) *rt.Copy { return a.items[i] }
+
+// Values appends all payloads to dst and returns it (convenience).
+func (a *Aggregate) Values(dst []any) []any {
+	for _, c := range a.items {
+		dst = append(dst, c.Val)
+	}
+	return dst
+}

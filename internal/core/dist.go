@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"gottg/internal/rt"
+)
+
+// activationTag is the comm tag carrying remote task activations.
+const activationTag = 0
+
+// RegisterPayload registers a concrete payload type for cross-rank
+// serialization (gob). Call once per type before MakeExecutable on all
+// ranks.
+func RegisterPayload(v any) { gob.Register(v) }
+
+// remoteSend serializes a datum and ships the activation (tt, slot, key,
+// payload) to the owning rank. Wire format:
+//
+//	[1B hasPayload][4B ttID][4B slot][8B key][gob payload...]
+func (g *Graph) remoteSend(w *rt.Worker, tt *TT, slot int, key uint64, c *rt.Copy, owned bool) {
+	dstRank := tt.mapFn(key)
+	var buf bytes.Buffer
+	var hdr [17]byte
+	if c != nil {
+		hdr[0] = 1
+	}
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(tt.id))
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(slot))
+	binary.LittleEndian.PutUint64(hdr[9:], key)
+	buf.Write(hdr[:])
+	if c != nil {
+		enc := gob.NewEncoder(&buf)
+		if err := enc.Encode(&c.Val); err != nil {
+			panic(fmt.Sprintf("ttg: cannot serialize payload for %s (did you RegisterPayload?): %v", tt.name, err))
+		}
+		if owned {
+			c.Release(w)
+		}
+	}
+	g.proc.Send(dstRank, activationTag, buf.Bytes())
+}
+
+// handleActivation runs on the communication progress goroutine (service
+// worker 1): decode and deliver locally.
+func (g *Graph) handleActivation(src int, payload []byte) {
+	hasPayload := payload[0] == 1
+	ttID := binary.LittleEndian.Uint32(payload[1:])
+	slot := int(binary.LittleEndian.Uint32(payload[5:]))
+	key := binary.LittleEndian.Uint64(payload[9:])
+	tt := g.tts[ttID]
+	cw := g.rtm.ServiceWorker(1)
+	var c *rt.Copy
+	if hasPayload {
+		dec := gob.NewDecoder(bytes.NewReader(payload[17:]))
+		var v any
+		if err := dec.Decode(&v); err != nil {
+			panic(fmt.Sprintf("ttg: cannot deserialize payload for %s: %v", tt.name, err))
+		}
+		c = cw.NewCopy(v)
+	}
+	g.deliver(cw, dest{tt: tt, slot: slot}, key, c, true)
+}

@@ -1,0 +1,44 @@
+package core
+
+import "fmt"
+
+// dest is one (template task, input slot) endpoint of an edge.
+type dest struct {
+	tt   *TT
+	slot int
+}
+
+// Edge connects output terminals of template tasks to input terminals of
+// successor template tasks. An edge may fan out to several destinations;
+// data sent through it is delivered to every destination (reference-shared,
+// not deep-copied).
+type Edge struct {
+	name  string
+	dests []dest
+}
+
+// NewEdge creates a named edge.
+func NewEdge(name string) *Edge {
+	return &Edge{name: name}
+}
+
+// Name returns the edge's diagnostic name.
+func (e *Edge) Name() string { return e.name }
+
+// To attaches the edge to input terminal `slot` of tt and returns the edge
+// for chaining. Must be called before the graph becomes executable.
+func (e *Edge) To(tt *TT, slot int) *Edge {
+	if tt.g.frozen {
+		panic("ttg: cannot wire edges after MakeExecutable")
+	}
+	if slot < 0 || slot >= tt.nIn {
+		panic(fmt.Sprintf("ttg: edge %q to %q slot %d out of range (nIn=%d)",
+			e.name, tt.name, slot, tt.nIn))
+	}
+	e.dests = append(e.dests, dest{tt: tt, slot: slot})
+	tt.inBound[slot] = true
+	return e
+}
+
+// Fanout returns the number of destinations currently attached.
+func (e *Edge) Fanout() int { return len(e.dests) }

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"gottg/internal/comm"
+	"gottg/internal/hashtable"
+	"gottg/internal/rt"
+)
+
+// Graph is a template task graph bound to a runtime instance. Typical use:
+//
+//	g := core.New(rt.OptimizedConfig(0))
+//	e := core.NewEdge("data")
+//	prod := g.NewTT("producer", 1, 1, prodBody)
+//	cons := g.NewTT("consumer", 1, 0, consBody)
+//	prod.Out(0, e)
+//	e.To(cons, 0)
+//	g.MakeExecutable()
+//	g.Invoke(prod, 0, initialDatum)
+//	g.Wait()
+//
+// One Graph drives one execution; construct a fresh Graph (cheap) per run.
+type Graph struct {
+	cfg rt.Config
+	rtm *rt.Runtime
+	tts []*TT
+
+	frozen bool
+	waited bool
+
+	// distributed state (size == 1 means purely shared-memory)
+	proc *comm.Proc
+	rank int
+	size int
+}
+
+// New creates a shared-memory graph with its own runtime.
+func New(cfg rt.Config) *Graph {
+	return &Graph{cfg: cfg.Normalize(), rtm: rt.New(cfg), size: 1}
+}
+
+// NewDistributed creates the local-rank replica of a distributed graph. The
+// proc endpoint must come from a comm.World shared by all ranks and must not
+// be started yet; MakeExecutable starts it. Every rank builds the same
+// topology (SPMD) and TTs use WithMapper to partition keys.
+func NewDistributed(cfg rt.Config, proc *comm.Proc) *Graph {
+	return &Graph{
+		cfg:  cfg.Normalize(),
+		rtm:  rt.New(cfg),
+		proc: proc,
+		rank: proc.Rank(),
+		size: proc.Size(),
+	}
+}
+
+// Runtime exposes the underlying runtime (stats, configuration).
+func (g *Graph) Runtime() *rt.Runtime { return g.rtm }
+
+// Rank returns this replica's rank (0 in shared memory).
+func (g *Graph) Rank() int { return g.rank }
+
+// Size returns the number of ranks (1 in shared memory).
+func (g *Graph) Size() int { return g.size }
+
+func (g *Graph) mustBeOpen() {
+	if g.frozen {
+		panic("ttg: graph already executable")
+	}
+}
+
+// NewTT adds a template task with nIn input and nOut output terminals.
+func (g *Graph) NewTT(name string, nIn, nOut int, body Body) *TT {
+	g.mustBeOpen()
+	if nIn < 1 {
+		panic("ttg: a TT needs at least one input terminal")
+	}
+	if nIn > rt.MaxInlineInputs {
+		panic(fmt.Sprintf("ttg: %s: %d input terminals exceeds the supported %d", name, nIn, rt.MaxInlineInputs))
+	}
+	tt := &TT{
+		g:       g,
+		id:      len(g.tts),
+		name:    name,
+		nIn:     nIn,
+		nOut:    nOut,
+		body:    body,
+		outs:    make([]*Edge, nOut),
+		inBound: make([]bool, nIn),
+		slots:   make([]inputSlot, nIn),
+	}
+	g.tts = append(g.tts, tt)
+	return tt
+}
+
+// MakeExecutable freezes the topology, builds per-TT discovery hash tables,
+// starts the communication endpoint (distributed) and launches the workers.
+// After this, Invoke* seeds tasks and Wait blocks until global termination.
+func (g *Graph) MakeExecutable() {
+	g.mustBeOpen()
+	g.frozen = true
+	for _, tt := range g.tts {
+		tt.bypass = g.cfg.HTBypassSingleInput && tt.nIn == 1 && tt.slots[0].kind == slotPlain
+		if !tt.bypass {
+			tt.ht = hashtable.New(hashtable.Options{
+				InitialSize: 64,
+				Lock:        g.rtm.NewRW(),
+			})
+		}
+	}
+	g.rtm.BeginAction() // seed guard, released by Wait
+	if g.size > 1 {
+		g.proc.Register(activationTag, g.handleActivation)
+		g.proc.Start(g.rtm.Det, func() { g.rtm.SignalDone() })
+		g.rtm.Start(true)
+		return
+	}
+	g.rtm.Start(false)
+}
+
+// Invoke seeds the task for key on tt's input terminal 0 with value v.
+// In distributed graphs, seeds whose key maps to another rank are dropped —
+// every rank invokes the same seeds and only the owner keeps them (SPMD).
+func (g *Graph) Invoke(tt *TT, key uint64, v any) {
+	g.InvokeInput(tt, 0, key, v)
+}
+
+// InvokeControl seeds a pure control-flow activation (no data).
+func (g *Graph) InvokeControl(tt *TT, key uint64) {
+	g.seed(tt, 0, key, nil)
+}
+
+// InvokeInput seeds input terminal `slot` of tt for key with value v.
+func (g *Graph) InvokeInput(tt *TT, slot int, key uint64, v any) {
+	sw := g.rtm.ServiceWorker(0)
+	g.seed(tt, slot, key, sw.NewCopy(v))
+}
+
+func (g *Graph) seed(tt *TT, slot int, key uint64, c *rt.Copy) {
+	if !g.frozen {
+		panic("ttg: Invoke before MakeExecutable")
+	}
+	select {
+	case <-g.rtm.Done():
+		panic("ttg: Invoke after graph termination")
+	default:
+	}
+	// Seeding after a timed-out WaitFor is allowed: the graph is still
+	// running (it has pending tasks), so termination cannot race the seed.
+	sw := g.rtm.ServiceWorker(0)
+	if g.size > 1 && tt.mapFn != nil && tt.mapFn(key) != g.rank {
+		if c != nil {
+			c.Release(sw) // another rank owns this seed
+		}
+		return
+	}
+	g.deliver(sw, dest{tt: tt, slot: slot}, key, c, true)
+}
+
+// Wait releases the seed guard and blocks until termination of the whole
+// graph (all ranks, in distributed mode). It may be called once.
+func (g *Graph) Wait() {
+	if !g.frozen {
+		panic("ttg: Wait before MakeExecutable")
+	}
+	if g.waited {
+		panic("ttg: Wait called twice")
+	}
+	g.waited = true
+	g.rtm.EndAction()
+	g.rtm.WaitDone()
+}
+
+// Dot renders the template task graph (TTs and edge wiring, not the
+// unrolled task graph) in Graphviz dot format — handy for documenting an
+// application's data-flow structure.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph ttg {\n  rankdir=LR;\n  node [shape=record];\n")
+	for _, tt := range g.tts {
+		fmt.Fprintf(&b, "  tt%d [label=\"%s|in:%d|out:%d\"];\n", tt.id, tt.name, tt.nIn, tt.nOut)
+	}
+	for _, tt := range g.tts {
+		for term, e := range tt.outs {
+			if e == nil {
+				continue
+			}
+			for _, d := range e.dests {
+				fmt.Fprintf(&b, "  tt%d -> tt%d [label=\"%s (%d→%d)\"];\n",
+					tt.id, d.tt.id, e.name, term, d.slot)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// EnableTracing records every task execution (name, key, worker, time,
+// duration); dump with Runtime().WriteChromeTrace after Wait. Must be
+// called before MakeExecutable.
+func (g *Graph) EnableTracing() {
+	g.mustBeOpen()
+	g.rtm.EnableTracing()
+}
+
+// Report writes a post-run summary: per-TT task counts and aggregate
+// worker statistics. Only meaningful after Wait.
+func (g *Graph) Report(w io.Writer) {
+	fmt.Fprintf(w, "graph report (rank %d/%d, %d workers, %s scheduler)\n",
+		g.rank, g.size, g.cfg.Workers, g.rtm.SchedulerName())
+	for _, tt := range g.tts {
+		fmt.Fprintf(w, "  %-24s %10d tasks\n", tt.name, tt.TasksCreated())
+	}
+	exec, steals, parks := g.rtm.Stats()
+	var inlined int64
+	for _, wk := range g.rtm.Workers() {
+		inlined += wk.Stats.Inlined
+	}
+	fmt.Fprintf(w, "  executed %d (inlined %d), steals %d, parks %d\n",
+		exec, inlined, steals, parks)
+}
+
+// Check returns human-readable warnings about suspicious topology:
+// unconnected output terminals (sending into them panics at runtime) and
+// input terminals with no producing edge (their tasks can only be fed via
+// Invoke). Usable any time after wiring; MakeExecutable does not call it.
+func (g *Graph) Check() []string {
+	var warns []string
+	for _, tt := range g.tts {
+		for term, e := range tt.outs {
+			if e == nil {
+				warns = append(warns, fmt.Sprintf(
+					"%s: output terminal %d is not connected to an edge", tt.name, term))
+			} else if len(e.dests) == 0 {
+				warns = append(warns, fmt.Sprintf(
+					"%s: output terminal %d feeds edge %q which has no destinations", tt.name, term, e.name))
+			}
+		}
+		for slot, bound := range tt.inBound {
+			if !bound {
+				warns = append(warns, fmt.Sprintf(
+					"%s: input terminal %d has no producing edge (Invoke-only)", tt.name, slot))
+			}
+		}
+	}
+	return warns
+}
+
+// PendingSummary describes tasks stuck waiting for inputs, for hang
+// diagnosis.
+func (g *Graph) PendingSummary() string {
+	var b strings.Builder
+	total := 0
+	for _, tt := range g.tts {
+		if n := tt.Pending(); n > 0 {
+			total += n
+			keys := tt.PendingKeys(4)
+			fmt.Fprintf(&b, "  %s: %d incomplete task(s), sample keys %v\n", tt.name, n, keys)
+		}
+	}
+	if total == 0 {
+		return "no incomplete tasks tabled (producers may still be queued or running)\n"
+	}
+	return b.String()
+}
+
+// WaitFor is Wait with a deadline: it returns nil on termination, or an
+// error carrying the pending-task summary if the graph has not completed
+// within d. The graph keeps running after a timeout; call WaitFor (or
+// WaitForever via another WaitFor) again to continue waiting.
+func (g *Graph) WaitFor(d time.Duration) error {
+	if !g.frozen {
+		panic("ttg: WaitFor before MakeExecutable")
+	}
+	if !g.waited {
+		g.waited = true
+		g.rtm.EndAction()
+	}
+	select {
+	case <-g.rtm.Done():
+		g.rtm.WaitDone()
+		return nil
+	case <-time.After(d):
+		return fmt.Errorf("ttg: graph not terminated after %v; incomplete tasks:\n%s", d, g.PendingSummary())
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"gottg/internal/rt"
+)
+
+// inlineCfg enables task inlining on an optimized runtime.
+func inlineCfg(workers, depth int) rt.Config {
+	c := rt.OptimizedConfig(workers)
+	c.PinWorkers = false
+	c.InlineTasks = true
+	c.MaxInlineDepth = depth
+	return c
+}
+
+func TestInlineChainCorrect(t *testing.T) {
+	const N = 20000
+	g := New(inlineCfg(1, 16))
+	e := NewEdge("chain")
+	var count atomic.Int64
+	pt := g.NewTT("p", 1, 1, func(tc TaskContext) {
+		count.Add(1)
+		if k := tc.Key(); k < N {
+			tc.SendControl(0, k+1)
+		}
+	})
+	pt.Out(0, e)
+	e.To(pt, 0)
+	g.MakeExecutable()
+	g.InvokeControl(pt, 1)
+	g.Wait()
+	if count.Load() != N {
+		t.Fatalf("executed %d, want %d", count.Load(), N)
+	}
+	var inlined int64
+	for _, w := range g.Runtime().Workers() {
+		inlined += w.Stats.Inlined
+	}
+	if inlined == 0 {
+		t.Fatal("no tasks were inlined despite InlineTasks")
+	}
+}
+
+func TestInlineTreeCorrectMultiWorker(t *testing.T) {
+	const H = 13
+	g := New(inlineCfg(4, 4))
+	e := NewEdge("tree")
+	var count atomic.Int64
+	tt := g.NewTT("node", 1, 1, func(tc TaskContext) {
+		count.Add(1)
+		lvl, idx := Unpack2(tc.Key())
+		if lvl < H {
+			tc.SendControl(0, Pack2(lvl+1, idx*2))
+			tc.SendControl(0, Pack2(lvl+1, idx*2+1))
+		}
+	})
+	tt.Out(0, e)
+	e.To(tt, 0)
+	g.MakeExecutable()
+	g.InvokeControl(tt, Pack2(0, 0))
+	g.Wait()
+	if want := int64(1<<(H+1) - 1); count.Load() != want {
+		t.Fatalf("executed %d, want %d", count.Load(), want)
+	}
+}
+
+func TestInlineDepthBounded(t *testing.T) {
+	// With MaxInlineDepth=2, a chain that records its stack depth through a
+	// side channel must never nest deeper than 2 inline frames. We verify
+	// indirectly: the run completes (no stack overflow) on a chain far
+	// longer than any plausible stack limit, and at least some tasks were
+	// NOT inlined (they overflowed the depth budget).
+	const N = 200000
+	g := New(inlineCfg(1, 2))
+	e := NewEdge("chain")
+	var count atomic.Int64
+	pt := g.NewTT("p", 1, 1, func(tc TaskContext) {
+		count.Add(1)
+		if k := tc.Key(); k < N {
+			tc.SendControl(0, k+1)
+		}
+	})
+	pt.Out(0, e)
+	e.To(pt, 0)
+	g.MakeExecutable()
+	g.InvokeControl(pt, 1)
+	g.Wait()
+	if count.Load() != N {
+		t.Fatalf("executed %d, want %d", count.Load(), N)
+	}
+	var inlined, executed int64
+	for _, w := range g.Runtime().Workers() {
+		inlined += w.Stats.Inlined
+		executed += w.Stats.Executed
+	}
+	if inlined == 0 {
+		t.Fatal("nothing inlined")
+	}
+	if executed == 0 {
+		t.Fatal("everything inlined: the depth bound did not engage")
+	}
+}
+
+func TestInlineWithDataAndAggregators(t *testing.T) {
+	// Inlining must preserve data-flow semantics: reducer aggregates K
+	// items delivered by inlined feeders.
+	const K = 32
+	g := New(inlineCfg(2, 8))
+	eIn := NewEdge("in")
+	feeder := g.NewTT("feeder", 1, 1, func(tc TaskContext) {
+		tc.Send(0, 0, int(tc.Key()))
+	})
+	var sum atomic.Int64
+	red := g.NewTT("reduce", 1, 0, func(tc TaskContext) {
+		agg := tc.Aggregate(0)
+		var s int64
+		for i := 0; i < agg.Len(); i++ {
+			s += int64(agg.Value(i).(int))
+		}
+		sum.Store(s)
+	}).WithAggregator(0, func(uint64) int { return K })
+	feeder.Out(0, eIn)
+	eIn.To(red, 0)
+	g.MakeExecutable()
+	for i := uint64(0); i < K; i++ {
+		g.InvokeControl(feeder, i)
+	}
+	g.Wait()
+	if want := int64(K * (K - 1) / 2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}

@@ -1,0 +1,48 @@
+// Package core implements the Template Task Graph (TTG) programming model —
+// the paper's primary contribution — on top of the gottg runtime (package
+// rt), with the optimizations of paper §IV available as configuration.
+//
+// Applications build an abstract graph of template tasks (TT) connected by
+// edges; during execution a concrete acyclic task graph unfolds dynamically:
+// tasks send data into output terminals, the data flows along edges to input
+// terminals of successor TTs, and a task instance runs once all of its
+// inputs are satisfied. Tasks are identified by uint64 keys; helpers in this
+// file pack small tuples into keys (TTG allows arbitrary key types; the
+// fixed-width key keeps the hot path allocation-free).
+//
+// The public alias package `gottg/ttg` re-exports this API for downstream
+// use.
+package core
+
+// Pack2 packs two 32-bit components into a key (e.g. (timestep, point)).
+func Pack2(a, b uint32) uint64 {
+	return uint64(a)<<32 | uint64(b)
+}
+
+// Unpack2 splits a Pack2 key.
+func Unpack2(k uint64) (a, b uint32) {
+	return uint32(k >> 32), uint32(k)
+}
+
+// Pack3 packs a 16-bit and two 24-bit components.
+func Pack3(a uint16, b, c uint32) uint64 {
+	return uint64(a)<<48 | uint64(b&0xffffff)<<24 | uint64(c&0xffffff)
+}
+
+// Unpack3 splits a Pack3 key.
+func Unpack3(k uint64) (a uint16, b, c uint32) {
+	return uint16(k >> 48), uint32(k>>24) & 0xffffff, uint32(k) & 0xffffff
+}
+
+// Pack4D packs an octree address: function id f (8 bits), level n (5 bits,
+// <= 31), and three 17-bit coordinates — the MRA mini-app's key layout.
+func Pack4D(f uint8, n uint8, x, y, z uint32) uint64 {
+	return uint64(f)<<56 | uint64(n&31)<<51 |
+		uint64(x&0x1ffff)<<34 | uint64(y&0x1ffff)<<17 | uint64(z&0x1ffff)
+}
+
+// Unpack4D splits a Pack4D key.
+func Unpack4D(k uint64) (f uint8, n uint8, x, y, z uint32) {
+	return uint8(k >> 56), uint8(k>>51) & 31,
+		uint32(k>>34) & 0x1ffff, uint32(k>>17) & 0x1ffff, uint32(k) & 0x1ffff
+}

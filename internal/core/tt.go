@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gottg/internal/hashtable"
+	"gottg/internal/rt"
+)
+
+// Body is a template task's user function. The TaskContext is passed by
+// value (it is three words) to keep task dispatch allocation-free.
+type Body func(tc TaskContext)
+
+// TT is a template task: the static description from which task instances
+// unfold at runtime. A TT has nIn input terminals and nOut output terminals;
+// an instance for key k runs once every input terminal has received its data
+// for k (one datum per plain terminal, a configured count for aggregator
+// terminals).
+type TT struct {
+	g    *Graph
+	id   int
+	name string
+	nIn  int
+	nOut int
+	body Body
+
+	outs    []*Edge
+	inBound []bool
+	slots   []inputSlot
+	prioFn  func(key uint64) int32
+	mapFn   func(key uint64) int
+
+	ht     *hashtable.Table
+	bypass bool
+
+	created atomic.Int64
+}
+
+// Name returns the template task's name.
+func (tt *TT) Name() string { return tt.name }
+
+// NumInputs returns the number of input terminals.
+func (tt *TT) NumInputs() int { return tt.nIn }
+
+// Out attaches output terminal `term` to edge e. Chainable.
+func (tt *TT) Out(term int, e *Edge) *TT {
+	tt.g.mustBeOpen()
+	if term < 0 || term >= tt.nOut {
+		panic(fmt.Sprintf("ttg: %s: output terminal %d out of range (nOut=%d)", tt.name, term, tt.nOut))
+	}
+	tt.outs[term] = e
+	return tt
+}
+
+// WithPriority installs a per-key priority function (higher runs earlier
+// under priority-aware schedulers). Chainable; before MakeExecutable.
+func (tt *TT) WithPriority(fn func(key uint64) int32) *TT {
+	tt.g.mustBeOpen()
+	tt.prioFn = fn
+	return tt
+}
+
+// WithMapper installs the key→rank process mapper used in distributed
+// execution. Without a mapper every key is local. Chainable.
+func (tt *TT) WithMapper(fn func(key uint64) int) *TT {
+	tt.g.mustBeOpen()
+	tt.mapFn = fn
+	return tt
+}
+
+// slotKind classifies an input terminal.
+type slotKind uint8
+
+const (
+	slotPlain     slotKind = iota // one datum per task
+	slotAggregate                 // count(key) data items, kept as copies (§V-D1)
+	slotStreaming                 // count(key) items folded eagerly by a reducer
+)
+
+// inputSlot describes one input terminal's accumulation behaviour.
+type inputSlot struct {
+	kind   slotKind
+	count  func(key uint64) int
+	reduce func(acc, v any) any
+}
+
+// need returns how many data items this slot requires for key.
+func (is *inputSlot) need(key uint64) int32 {
+	if is.kind == slotPlain {
+		return 1
+	}
+	return int32(is.count(key))
+}
+
+// WithAggregator turns input terminal `slot` into an aggregator terminal
+// (paper §V-D1): instead of a single datum, the task for key k waits for
+// count(k) data items, which the body retrieves with TaskContext.Aggregate.
+// The data items remain under TTG copy management (no deep copies).
+func (tt *TT) WithAggregator(slot int, count func(key uint64) int) *TT {
+	tt.g.mustBeOpen()
+	if slot < 0 || slot >= tt.nIn {
+		panic(fmt.Sprintf("ttg: %s: aggregator slot %d out of range", tt.name, slot))
+	}
+	tt.slots[slot] = inputSlot{kind: slotAggregate, count: count}
+	return tt
+}
+
+// WithStreaming turns input terminal `slot` into a streaming terminal: the
+// count(key) arriving items are folded eagerly into an accumulator with
+// reduce(acc, v) (acc is nil for the first item) and their copies released
+// immediately. This is the mechanism TTG applications used before
+// aggregator terminals (paper §V-D1) — it trades copy tracking for eager
+// reduction: the body sees only the final accumulator via Value(slot).
+func (tt *TT) WithStreaming(slot int, count func(key uint64) int, reduce func(acc, v any) any) *TT {
+	tt.g.mustBeOpen()
+	if slot < 0 || slot >= tt.nIn {
+		panic(fmt.Sprintf("ttg: %s: streaming slot %d out of range", tt.name, slot))
+	}
+	if reduce == nil {
+		panic(fmt.Sprintf("ttg: %s: streaming slot %d needs a reducer", tt.name, slot))
+	}
+	tt.slots[slot] = inputSlot{kind: slotStreaming, count: count, reduce: reduce}
+	return tt
+}
+
+// TasksCreated reports how many task instances this TT has created.
+func (tt *TT) TasksCreated() int64 { return tt.created.Load() }
+
+// totalDeps computes the number of data items required before the task for
+// key becomes eligible.
+func (tt *TT) totalDeps(key uint64) int32 {
+	n := int32(0)
+	for i := 0; i < tt.nIn; i++ {
+		n += tt.slots[i].need(key)
+	}
+	return n
+}
+
+// newTask builds a task instance for key (pool-backed).
+func (tt *TT) newTask(w *rt.Worker, key uint64) *rt.Task {
+	t := w.NewTask()
+	t.TT = tt
+	t.SetKey(key)
+	t.SetNumInputs(tt.nIn)
+	t.Exec = ttExecute
+	if tt.prioFn != nil {
+		t.Priority = tt.prioFn(key)
+	}
+	for i := 0; i < tt.nIn; i++ {
+		switch tt.slots[i].kind {
+		case slotAggregate:
+			t.SetInput(i, w.NewCopy(&Aggregate{need: int(tt.slots[i].need(key))}))
+		case slotStreaming:
+			t.SetInput(i, w.NewCopy(nil)) // the accumulator cell
+		}
+	}
+	t.ArmDeps(tt.totalDeps(key))
+	tt.created.Add(1)
+	return t
+}
+
+// ttExecute is the runtime execution wrapper installed on every TTG task:
+// run the body, release unmoved inputs, recycle the task, and account the
+// completion for termination detection.
+func ttExecute(w *rt.Worker, t *rt.Task) {
+	tt := t.TT.(*TT)
+	tt.body(TaskContext{w: w, t: t, tt: tt})
+	for i := 0; i < tt.nIn; i++ {
+		c := t.Input(i)
+		if c == nil {
+			continue
+		}
+		switch tt.slots[i].kind {
+		case slotAggregate:
+			agg := c.Val.(*Aggregate)
+			for _, item := range agg.items {
+				if item != nil {
+					item.Release(w)
+				}
+			}
+			agg.items = nil
+			c.Release(w)
+			continue
+		case slotStreaming:
+			c.Release(w) // items were released on arrival
+			continue
+		}
+		if t.Flags&(1<<uint(i)) != 0 {
+			continue // ownership moved to a successor
+		}
+		c.Release(w)
+	}
+	w.FlushDeferred()
+	w.Completed()
+	w.FreeTask(t)
+}
+
+// deliver routes one datum (c may be nil for pure control flow) to the
+// destination's input terminal for key. If owned, the caller's reference to
+// c is consumed; otherwise deliver retains as needed.
+//
+// This is the heart of dynamic task discovery (paper §III-C): single-input
+// TTs bypass the hash table entirely; otherwise the key's bucket is locked,
+// the pending task found or created, the datum attached, and the dependence
+// counter decremented — task becomes eligible at zero.
+func (g *Graph) deliver(w *rt.Worker, d dest, key uint64, c *rt.Copy, owned bool) {
+	tt := d.tt
+	if g.size > 1 && tt.mapFn != nil {
+		if r := tt.mapFn(key); r != g.rank {
+			g.remoteSend(w, tt, d.slot, key, c, owned)
+			return
+		}
+	}
+	if c == nil && tt.slots[d.slot].kind != slotPlain {
+		panic(fmt.Sprintf("ttg: %s: control-flow send into %s terminal %d",
+			tt.name, map[slotKind]string{slotAggregate: "aggregator", slotStreaming: "streaming"}[tt.slots[d.slot].kind], d.slot))
+	}
+	if c != nil && !owned {
+		c.Retain(w)
+	}
+	if tt.bypass {
+		t := tt.newTask(w, key)
+		t.SetInput(0, c)
+		w.Discovered()
+		g.dispatch(w, t)
+		return
+	}
+	slot := w.HTSlot()
+	w.CountBucketLock()
+	tt.ht.LockKey(slot, key)
+	var t *rt.Task
+	if e := tt.ht.NoLockFind(key); e != nil {
+		t = e.Val.(*rt.Task)
+	} else {
+		t = tt.newTask(w, key)
+		t.Entry.Val = t
+		w.Discovered()
+		tt.ht.NoLockInsert(&t.Entry)
+	}
+	switch tt.slots[d.slot].kind {
+	case slotAggregate:
+		agg := t.Input(d.slot).Val.(*Aggregate)
+		agg.items = append(agg.items, c)
+	case slotStreaming:
+		cell := t.Input(d.slot)
+		cell.Val = tt.slots[d.slot].reduce(cell.Val, c.Val)
+		c.Release(w) // streaming gives up copy tracking (§V-D1)
+	default:
+		t.SetInput(d.slot, c)
+	}
+	ready := t.SatisfyDep(w, 1)
+	if ready {
+		tt.ht.NoLockRemove(key)
+	}
+	tt.ht.UnlockKey(slot, key)
+	if ready {
+		g.dispatch(w, t)
+	}
+}
+
+// dispatch routes an eligible task: inline if allowed, defer into the
+// worker's ready bundle if bundling, else straight to the scheduler.
+func (g *Graph) dispatch(w *rt.Worker, t *rt.Task) {
+	if w.TryInline(t) {
+		return
+	}
+	if w.Bundling() {
+		w.Defer(t)
+		return
+	}
+	w.Schedule(t)
+}
+
+// Pending returns how many task instances of this TT have been discovered
+// but are still waiting for inputs (0 for hash-table-bypassed TTs, whose
+// tasks are scheduled immediately).
+func (tt *TT) Pending() int {
+	if tt.ht == nil {
+		return 0
+	}
+	return tt.ht.Len()
+}
+
+// PendingKeys returns up to limit keys of incomplete task instances — the
+// first thing to look at when a graph hangs (typically an aggregator count
+// that no producer satisfies).
+func (tt *TT) PendingKeys(limit int) []uint64 {
+	if tt.ht == nil {
+		return nil
+	}
+	return tt.ht.Keys(limit)
+}

@@ -1,0 +1,191 @@
+package dtd
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"gottg/internal/rt"
+)
+
+func cfg(workers int) rt.Config {
+	c := rt.OptimizedConfig(workers)
+	c.PinWorkers = false
+	return c
+}
+
+func TestIndependentTasks(t *testing.T) {
+	r := New(cfg(4))
+	var n atomic.Int64
+	for i := 0; i < 2000; i++ {
+		r.Insert("indep", func() { n.Add(1) })
+	}
+	r.Wait()
+	if n.Load() != 2000 {
+		t.Fatalf("ran %d", n.Load())
+	}
+	if r.Inserted() != 2000 {
+		t.Fatalf("Inserted = %d", r.Inserted())
+	}
+}
+
+func TestWriteAfterWriteChain(t *testing.T) {
+	r := New(cfg(4))
+	h := r.NewData()
+	var seq []int
+	const n = 1000
+	for i := 0; i < n; i++ {
+		i := i
+		r.Insert("w", func() { seq = append(seq, i) }, Write(h))
+	}
+	r.Wait()
+	if len(seq) != n {
+		t.Fatalf("len=%d", len(seq))
+	}
+	for i, v := range seq {
+		if v != i {
+			t.Fatalf("WAW order broken at %d: %d", i, v)
+		}
+	}
+}
+
+func TestReadersParallelWriterWaits(t *testing.T) {
+	r := New(cfg(4))
+	h := r.NewData()
+	var readers atomic.Int32
+	var writerOK atomic.Bool
+	r.Insert("init", func() {}, Write(h))
+	const R = 10
+	for i := 0; i < R; i++ {
+		r.Insert("r", func() { readers.Add(1) }, Read(h))
+	}
+	r.Insert("w", func() { writerOK.Store(readers.Load() == R) }, Write(h))
+	r.Wait()
+	if !writerOK.Load() {
+		t.Fatal("write-after-read dependence violated")
+	}
+}
+
+func TestChainThroughTwoHandles(t *testing.T) {
+	// task i reads h[i-1], writes h[i]: a strict pipeline.
+	r := New(cfg(4))
+	const n = 500
+	hs := make([]*Handle, n+1)
+	for i := range hs {
+		hs[i] = r.NewData()
+	}
+	vals := make([]int, n+1)
+	vals[0] = 1
+	for i := 1; i <= n; i++ {
+		i := i
+		r.Insert("link", func() { vals[i] = vals[i-1] + 1 },
+			Read(hs[i-1]), Write(hs[i]))
+	}
+	r.Wait()
+	if vals[n] != n+1 {
+		t.Fatalf("pipeline result %d, want %d", vals[n], n+1)
+	}
+}
+
+func TestStencilDoubleBuffer(t *testing.T) {
+	// The Task-Bench stencil with double-buffered handles: task (t,p)
+	// reads row (t-1) neighborhood, writes cell (t%2, p). Verifies against
+	// a sequential sweep — this exercises RAW, WAR and WAW together.
+	const W, T = 8, 40
+	r := New(cfg(4))
+	hs := [2][]*Handle{}
+	for b := 0; b < 2; b++ {
+		hs[b] = make([]*Handle, W)
+		for p := range hs[b] {
+			hs[b][p] = r.NewData()
+		}
+	}
+	grid := [2][]int64{make([]int64, W), make([]int64, W)}
+	for p := 0; p < W; p++ {
+		grid[0][p] = int64(p)
+	}
+	// Seed writers so generation-0 cells have a writer record.
+	for p := 0; p < W; p++ {
+		r.Insert("seed", func() {}, Write(hs[0][p]))
+	}
+	for ts := 1; ts <= T; ts++ {
+		src, dst := (ts-1)%2, ts%2
+		for p := 0; p < W; p++ {
+			p := p
+			acc := []Access{Write(hs[dst][p]), Read(hs[src][p])}
+			if p > 0 {
+				acc = append(acc, Read(hs[src][p-1]))
+			}
+			if p < W-1 {
+				acc = append(acc, Read(hs[src][p+1]))
+			}
+			r.Insert("stencil", func() {
+				s := grid[src][p]
+				if p > 0 {
+					s += grid[src][p-1]
+				}
+				if p < W-1 {
+					s += grid[src][p+1]
+				}
+				grid[dst][p] = s
+			}, acc...)
+		}
+	}
+	r.Wait()
+	// Sequential reference.
+	a := make([]int64, W)
+	for p := range a {
+		a[p] = int64(p)
+	}
+	for ts := 1; ts <= T; ts++ {
+		b := make([]int64, W)
+		for p := 0; p < W; p++ {
+			s := a[p]
+			if p > 0 {
+				s += a[p-1]
+			}
+			if p < W-1 {
+				s += a[p+1]
+			}
+			b[p] = s
+		}
+		a = b
+	}
+	for p := 0; p < W; p++ {
+		if grid[T%2][p] != a[p] {
+			t.Fatalf("cell %d = %d, want %d", p, grid[T%2][p], a[p])
+		}
+	}
+}
+
+func TestDTDRunsOnAllSchedulers(t *testing.T) {
+	for _, k := range []rt.SchedKind{rt.SchedLLP, rt.SchedLFQ, rt.SchedLL} {
+		c := cfg(2)
+		c.Sched = k
+		r := New(c)
+		h := r.NewData()
+		sum := 0
+		for i := 0; i < 200; i++ {
+			i := i
+			r.Insert("acc", func() { sum += i }, Write(h))
+		}
+		r.Wait()
+		if sum != 199*200/2 {
+			t.Fatalf("%v: sum %d", k, sum)
+		}
+	}
+}
+
+func TestLifecyclePanics(t *testing.T) {
+	r := New(cfg(1))
+	r.Wait()
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Insert after Wait", func() { r.Insert("x", func() {}) })
+	mustPanic("double Wait", func() { r.Wait() })
+}

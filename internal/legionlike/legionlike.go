@@ -1,0 +1,143 @@
+// Package legionlike is the Legion baseline: deferred task execution with
+// dynamic dependence analysis over logical regions. Task launches stream
+// through a single analysis stage (Legion's mapping/dependence-analysis
+// pipeline), which computes predecessor events from region usage and only
+// then hands the task to an execution resource. That serialized analysis
+// gives Legion its characteristically high per-task overhead at small task
+// granularities (paper Figs. 7–8, 10–11).
+//
+// Scheduling model: the analyzer assigns tasks round-robin to worker queues;
+// a worker blocks on a task's predecessor events before running it. This is
+// deadlock-free whenever, per worker queue, tasks are enqueued in an order
+// consistent with the dependence partial order — true for all launch orders
+// produced by a single analysis thread processing launches FIFO, because a
+// task's predecessors are always launched (hence analyzed and queued)
+// earlier, and every worker drains its queue in FIFO order while predecessor
+// completion never depends on a successor.
+package legionlike
+
+import (
+	"sync"
+)
+
+// task is a launched task: region requirements, completion event, and the
+// predecessors filled in by dependence analysis.
+type task struct {
+	fn     func()
+	reads  []uint64
+	writes []uint64
+	preds  []*task
+	done   chan struct{}
+}
+
+// Runtime is a Legion-like deferred-execution runtime.
+type Runtime struct {
+	launch chan *task
+	queues []chan *task
+
+	regions map[uint64]*regionState
+
+	analysisDone sync.WaitGroup
+	workersDone  sync.WaitGroup
+	outstanding  sync.WaitGroup
+
+	rr int // round-robin cursor (analysis goroutine private)
+}
+
+// regionState tracks the most recent users of a logical region.
+type regionState struct {
+	lastWriter *task
+	readers    []*task
+}
+
+// New starts a runtime with `threads` execution workers.
+func New(threads int) *Runtime {
+	if threads < 1 {
+		threads = 1
+	}
+	r := &Runtime{
+		launch:  make(chan *task, 1024),
+		queues:  make([]chan *task, threads),
+		regions: map[uint64]*regionState{},
+	}
+	for i := range r.queues {
+		r.queues[i] = make(chan *task, 4096)
+	}
+	r.analysisDone.Add(1)
+	go r.analyze()
+	for i := range r.queues {
+		r.workersDone.Add(1)
+		go r.worker(r.queues[i])
+	}
+	return r
+}
+
+// Launch submits a task using regions `reads` and `writes`. Returns
+// immediately (deferred execution).
+func (r *Runtime) Launch(reads, writes []uint64, fn func()) {
+	t := &task{fn: fn, reads: reads, writes: writes, done: make(chan struct{})}
+	r.outstanding.Add(1)
+	r.launch <- t
+}
+
+func (r *Runtime) analyze() {
+	defer r.analysisDone.Done()
+	for t := range r.launch {
+		// Dependence analysis (serialized — the Legion pipeline stage):
+		for _, reg := range t.writes {
+			st := r.region(reg)
+			if st.lastWriter != nil {
+				t.preds = append(t.preds, st.lastWriter)
+			}
+			t.preds = append(t.preds, st.readers...)
+			st.lastWriter = t
+			st.readers = nil
+		}
+		for _, reg := range t.reads {
+			st := r.region(reg)
+			if st.lastWriter != nil {
+				t.preds = append(t.preds, st.lastWriter)
+			}
+			st.readers = append(st.readers, t)
+		}
+		r.queues[r.rr] <- t
+		r.rr = (r.rr + 1) % len(r.queues)
+	}
+	for _, q := range r.queues {
+		close(q)
+	}
+}
+
+func (r *Runtime) region(id uint64) *regionState {
+	st := r.regions[id]
+	if st == nil {
+		st = &regionState{}
+		r.regions[id] = st
+	}
+	return st
+}
+
+func (r *Runtime) worker(q chan *task) {
+	defer r.workersDone.Done()
+	for t := range q {
+		for _, p := range t.preds {
+			<-p.done
+		}
+		t.fn()
+		close(t.done)
+		r.outstanding.Done()
+	}
+}
+
+// Fence blocks until every launched task has completed.
+func (r *Runtime) Fence() {
+	r.outstanding.Wait()
+}
+
+// Close drains and stops the runtime.
+func (r *Runtime) Close() {
+	r.Fence()
+	close(r.launch)
+	r.analysisDone.Wait()
+	r.workersDone.Wait()
+}

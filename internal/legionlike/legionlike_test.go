@@ -1,0 +1,120 @@
+package legionlike
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestIndependentTasks(t *testing.T) {
+	r := New(4)
+	var n atomic.Int64
+	for i := 0; i < 1000; i++ {
+		r.Launch(nil, []uint64{uint64(i)}, func() { n.Add(1) })
+	}
+	r.Close()
+	if n.Load() != 1000 {
+		t.Fatalf("ran %d", n.Load())
+	}
+}
+
+func TestWriterChainOrdered(t *testing.T) {
+	r := New(4)
+	const n = 400
+	var seq []int
+	for i := 0; i < n; i++ {
+		i := i
+		r.Launch(nil, []uint64{1}, func() { seq = append(seq, i) })
+	}
+	r.Fence()
+	r.Close()
+	for i, v := range seq {
+		if v != i {
+			t.Fatalf("write-write order violated at %d: %d", i, v)
+		}
+	}
+}
+
+func TestReadersBeforeNextWriter(t *testing.T) {
+	r := New(4)
+	var readers atomic.Int32
+	var ok atomic.Bool
+	r.Launch(nil, []uint64{9}, func() {})
+	const R = 6
+	for i := 0; i < R; i++ {
+		r.Launch([]uint64{9}, nil, func() { readers.Add(1) })
+	}
+	r.Launch(nil, []uint64{9}, func() { ok.Store(readers.Load() == R) })
+	r.Fence()
+	r.Close()
+	if !ok.Load() {
+		t.Fatal("writer overtook readers")
+	}
+}
+
+func TestStencilPattern(t *testing.T) {
+	// The Task-Bench shape this baseline exists for: W points, T steps,
+	// task (t,p) writes region (t+1,p) and reads (t,p-1..p+1).
+	const W, T = 8, 30
+	r := New(4)
+	reg := func(t, p int) uint64 { return uint64(t)<<16 | uint64(p) }
+	grid := make([][]int64, T+1)
+	for i := range grid {
+		grid[i] = make([]int64, W)
+	}
+	for p := 0; p < W; p++ {
+		grid[0][p] = int64(p)
+	}
+	for ts := 0; ts < T; ts++ {
+		for p := 0; p < W; p++ {
+			ts, p := ts, p
+			var reads []uint64
+			for d := -1; d <= 1; d++ {
+				if p+d >= 0 && p+d < W {
+					reads = append(reads, reg(ts, p+d))
+				}
+			}
+			r.Launch(reads, []uint64{reg(ts+1, p)}, func() {
+				s := grid[ts][p]
+				if p > 0 {
+					s += grid[ts][p-1]
+				}
+				if p < W-1 {
+					s += grid[ts][p+1]
+				}
+				grid[ts+1][p] = s
+			})
+		}
+	}
+	r.Fence()
+	r.Close()
+	// Sequential check.
+	a := make([]int64, W)
+	for i := range a {
+		a[i] = int64(i)
+	}
+	for ts := 0; ts < T; ts++ {
+		b := make([]int64, W)
+		for p := 0; p < W; p++ {
+			s := a[p]
+			if p > 0 {
+				s += a[p-1]
+			}
+			if p < W-1 {
+				s += a[p+1]
+			}
+			b[p] = s
+		}
+		a = b
+	}
+	for p := 0; p < W; p++ {
+		if grid[T][p] != a[p] {
+			t.Fatalf("cell %d = %d, want %d", p, grid[T][p], a[p])
+		}
+	}
+}
+
+func TestFenceWithNothingLaunched(t *testing.T) {
+	r := New(2)
+	r.Fence()
+	r.Close()
+}

@@ -1,0 +1,226 @@
+// Package linalg provides the small dense linear algebra the MRA mini-app
+// is built from: row-major matrices, GEMM, Gauss-Legendre quadrature,
+// Legendre polynomials, and the tensor-product transforms that apply a k×k
+// matrix along each dimension of a k³ coefficient cube — the "GEMMs on small
+// matrices" workload of paper §V-E.
+package linalg
+
+import "math"
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero r×c matrix.
+func NewMatrix(r, c int) Matrix {
+	return Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i,j).
+func (m Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Transpose returns a new transposed matrix.
+func (m Matrix) Transpose() Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Gemm computes C = alpha·A·B + beta·C with a blocked i-k-j loop order
+// (cache-friendly for the small matrices used here). Dimensions must agree.
+func Gemm(alpha float64, a, b Matrix, beta float64, c Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic("linalg: Gemm dimension mismatch")
+	}
+	switch beta {
+	case 1:
+	case 0:
+		for i := range c.Data {
+			c.Data[i] = 0
+		}
+	default:
+		for i := range c.Data {
+			c.Data[i] *= beta
+		}
+	}
+	for i := 0; i < a.Rows; i++ {
+		ci := c.Data[i*c.Cols : (i+1)*c.Cols]
+		for kk := 0; kk < a.Cols; kk++ {
+			av := alpha * a.Data[i*a.Cols+kk]
+			if av == 0 {
+				continue
+			}
+			bk := b.Data[kk*b.Cols : (kk+1)*b.Cols]
+			for j := range ci {
+				ci[j] += av * bk[j]
+			}
+		}
+	}
+}
+
+// MatVec computes y = A·x.
+func MatVec(a Matrix, x, y []float64) {
+	if a.Cols != len(x) || a.Rows != len(y) {
+		panic("linalg: MatVec dimension mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// LegendreP evaluates the Legendre polynomial P_n(x) by the three-term
+// recurrence.
+func LegendreP(n int, x float64) float64 {
+	if n == 0 {
+		return 1
+	}
+	if n == 1 {
+		return x
+	}
+	p0, p1 := 1.0, x
+	for m := 2; m <= n; m++ {
+		p0, p1 = p1, (float64(2*m-1)*x*p1-float64(m-1)*p0)/float64(m)
+	}
+	return p1
+}
+
+// legendreDeriv evaluates P_n'(x) (for Newton iterations on the roots).
+func legendreDeriv(n int, x float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(n) * (x*LegendreP(n, x) - LegendreP(n-1, x)) / (x*x - 1)
+}
+
+// GaussLegendre returns the n-point Gauss-Legendre nodes and weights on
+// [0,1]. Exact for polynomials of degree <= 2n-1.
+func GaussLegendre(n int) (x, w []float64) {
+	x = make([]float64, n)
+	w = make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Initial guess (Chebyshev), then Newton on [-1,1].
+		t := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		for iter := 0; iter < 100; iter++ {
+			dt := -LegendreP(n, t) / legendreDeriv(n, t)
+			t += dt
+			if math.Abs(dt) < 1e-15 {
+				break
+			}
+		}
+		dp := legendreDeriv(n, t)
+		// Map from [-1,1] to [0,1].
+		x[i] = (t + 1) / 2
+		w[i] = 1 / ((1 - t*t) * dp * dp) // = (2/((1-t²)P'²)) · (1/2 jacobian)
+		w[i] *= 2
+		w[i] /= 2
+	}
+	return x, w
+}
+
+// ScalingFn evaluates the normalized shifted Legendre scaling function
+// phi_i(x) = sqrt(2i+1)·P_i(2x-1) on [0,1] — the multiwavelet scaling basis
+// of Alpert et al. used by MADNESS/MRA.
+func ScalingFn(i int, x float64) float64 {
+	return math.Sqrt(float64(2*i+1)) * LegendreP(i, 2*x-1)
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the dot product.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Cube is a k×k×k coefficient tensor stored as a flat slice with index
+// (i·k + j)·k + l.
+type Cube struct {
+	K    int
+	Data []float64
+}
+
+// NewCube allocates a zero k³ cube.
+func NewCube(k int) Cube {
+	return Cube{K: k, Data: make([]float64, k*k*k)}
+}
+
+// At returns element (i,j,l).
+func (c Cube) At(i, j, l int) float64 { return c.Data[(i*c.K+j)*c.K+l] }
+
+// Set assigns element (i,j,l).
+func (c Cube) Set(i, j, l int, v float64) { c.Data[(i*c.K+j)*c.K+l] = v }
+
+// Norm returns the Frobenius norm.
+func (c Cube) Norm() float64 { return Norm2(c.Data) }
+
+// Clone deep-copies the cube.
+func (c Cube) Clone() Cube {
+	out := Cube{K: c.K, Data: make([]float64, len(c.Data))}
+	copy(out.Data, c.Data)
+	return out
+}
+
+// AddScaled accumulates c += alpha·o.
+func (c Cube) AddScaled(alpha float64, o Cube) {
+	for i := range c.Data {
+		c.Data[i] += alpha * o.Data[i]
+	}
+}
+
+// Transform3D applies the k×k matrices mx, my, mz along dimensions 0,1,2 of
+// the cube: out[a,b,c] = Σ_{ijl} mx[a,i]·my[b,j]·mz[c,l]·in[i,j,l].
+// Implemented as three (GEMM + axis rotation) passes; scratch must be a cube
+// of the same size and is clobbered.
+func Transform3D(in Cube, mx, my, mz Matrix, out, scratch Cube) {
+	k := in.K
+	if mx.Rows != k || my.Rows != k || mz.Rows != k {
+		panic("linalg: Transform3D dimension mismatch")
+	}
+	// Pass along dim 0: view in as (k, k²); tmp = M·in, then rotate
+	// (i,j,l) -> (j,l,i) so the next pass also transforms "dim 0".
+	cur := in
+	mats := [3]Matrix{mx, my, mz}
+	dsts := [3]Cube{scratch, out, scratch}
+	tmp := make([]float64, k*k*k)
+	for p := 0; p < 3; p++ {
+		m := mats[p]
+		dst := dsts[p]
+		// tmp = m × cur (k×k · k×k²)
+		Gemm(1, m, Matrix{Rows: k, Cols: k * k, Data: cur.Data}, 0,
+			Matrix{Rows: k, Cols: k * k, Data: tmp})
+		// rotate axes: dst[j,l,a] = tmp[a,j,l]
+		for a := 0; a < k; a++ {
+			for j := 0; j < k; j++ {
+				for l := 0; l < k; l++ {
+					dst.Data[(j*k+l)*k+a] = tmp[(a*k+j)*k+l]
+				}
+			}
+		}
+		cur = dst
+	}
+	copy(out.Data, scratch.Data) // the third pass always lands in scratch
+}

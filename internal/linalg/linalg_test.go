@@ -1,0 +1,248 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestGemmSmall(t *testing.T) {
+	a := Matrix{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := Matrix{Rows: 3, Cols: 2, Data: []float64{7, 8, 9, 10, 11, 12}}
+	c := NewMatrix(2, 2)
+	Gemm(1, a, b, 0, c)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("C[%d] = %v, want %v", i, c.Data[i], v)
+		}
+	}
+	// beta scaling
+	Gemm(1, a, b, 1, c)
+	if c.Data[0] != 116 {
+		t.Fatalf("beta=1 accumulate failed: %v", c.Data[0])
+	}
+	// beta=0 must overwrite NaN garbage
+	c.Data[0] = math.NaN()
+	Gemm(1, a, b, 0, c)
+	if c.Data[0] != 58 {
+		t.Fatalf("beta=0 did not clear NaN: %v", c.Data[0])
+	}
+}
+
+// Property: Gemm against the naive triple loop on random matrices.
+func TestQuickGemmVsNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := seed
+		next := func() float64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return float64(rng%1000) / 250
+		}
+		const n, m, p = 5, 4, 6
+		a, b := NewMatrix(n, m), NewMatrix(m, p)
+		for i := range a.Data {
+			a.Data[i] = next()
+		}
+		for i := range b.Data {
+			b.Data[i] = next()
+		}
+		c := NewMatrix(n, p)
+		Gemm(2.5, a, b, 0, c)
+		for i := 0; i < n; i++ {
+			for j := 0; j < p; j++ {
+				s := 0.0
+				for kk := 0; kk < m; kk++ {
+					s += a.At(i, kk) * b.At(kk, j)
+				}
+				if !almostEq(c.At(i, j), 2.5*s, 1e-9*(1+math.Abs(s))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := Matrix{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("transpose wrong: %+v", at)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := Matrix{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	y := make([]float64, 2)
+	MatVec(a, []float64{5, 6}, y)
+	if y[0] != 17 || y[1] != 39 {
+		t.Fatalf("MatVec = %v", y)
+	}
+}
+
+func TestGaussLegendreExactness(t *testing.T) {
+	// n-point GL on [0,1] must integrate x^p exactly for p <= 2n-1.
+	for _, n := range []int{2, 5, 10} {
+		x, w := GaussLegendre(n)
+		for p := 0; p <= 2*n-1; p++ {
+			got := 0.0
+			for i := range x {
+				got += w[i] * math.Pow(x[i], float64(p))
+			}
+			want := 1 / float64(p+1)
+			if !almostEq(got, want, 1e-12) {
+				t.Fatalf("n=%d: ∫x^%d = %.15f, want %.15f", n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestScalingFnOrthonormal(t *testing.T) {
+	// ∫ phi_i phi_j = delta_ij on [0,1], via 12-point quadrature (exact for
+	// degrees up to 23 >= i+j <= 14).
+	x, w := GaussLegendre(12)
+	for i := 0; i <= 7; i++ {
+		for j := 0; j <= 7; j++ {
+			s := 0.0
+			for m := range x {
+				s += w[m] * ScalingFn(i, x[m]) * ScalingFn(j, x[m])
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEq(s, want, 1e-10) {
+				t.Fatalf("<phi_%d, phi_%d> = %v", i, j, s)
+			}
+		}
+	}
+}
+
+func TestLegendreKnownValues(t *testing.T) {
+	if LegendreP(0, 0.3) != 1 || LegendreP(1, 0.3) != 0.3 {
+		t.Fatal("P0/P1 wrong")
+	}
+	// P2(x) = (3x²-1)/2
+	if !almostEq(LegendreP(2, 0.5), (3*0.25-1)/2, 1e-15) {
+		t.Fatal("P2 wrong")
+	}
+	// P_n(1) = 1 for all n
+	for n := 0; n <= 20; n++ {
+		if !almostEq(LegendreP(n, 1), 1, 1e-12) {
+			t.Fatalf("P_%d(1) != 1", n)
+		}
+	}
+}
+
+func TestCubeBasics(t *testing.T) {
+	c := NewCube(3)
+	c.Set(1, 2, 0, 5)
+	if c.At(1, 2, 0) != 5 {
+		t.Fatal("cube indexing broken")
+	}
+	d := c.Clone()
+	d.Set(1, 2, 0, 7)
+	if c.At(1, 2, 0) != 5 {
+		t.Fatal("clone aliases")
+	}
+	c.AddScaled(2, d)
+	if c.At(1, 2, 0) != 19 {
+		t.Fatalf("AddScaled: %v", c.At(1, 2, 0))
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-15) {
+		t.Fatal("Norm2 broken")
+	}
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot broken")
+	}
+}
+
+func TestTransform3DIdentity(t *testing.T) {
+	const k = 4
+	id := NewMatrix(k, k)
+	for i := 0; i < k; i++ {
+		id.Set(i, i, 1)
+	}
+	in := NewCube(k)
+	for i := range in.Data {
+		in.Data[i] = float64(i) * 0.37
+	}
+	out, scratch := NewCube(k), NewCube(k)
+	Transform3D(in, id, id, id, out, scratch)
+	for i := range in.Data {
+		if !almostEq(out.Data[i], in.Data[i], 1e-12) {
+			t.Fatalf("identity transform changed element %d: %v -> %v", i, in.Data[i], out.Data[i])
+		}
+	}
+}
+
+func TestTransform3DVsNaive(t *testing.T) {
+	const k = 3
+	mk := func(seed float64) Matrix {
+		m := NewMatrix(k, k)
+		for i := range m.Data {
+			m.Data[i] = math.Sin(seed + float64(i))
+		}
+		return m
+	}
+	mx, my, mz := mk(1), mk(2), mk(3)
+	in := NewCube(k)
+	for i := range in.Data {
+		in.Data[i] = math.Cos(float64(i))
+	}
+	out, scratch := NewCube(k), NewCube(k)
+	Transform3D(in, mx, my, mz, out, scratch)
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			for c := 0; c < k; c++ {
+				s := 0.0
+				for i := 0; i < k; i++ {
+					for j := 0; j < k; j++ {
+						for l := 0; l < k; l++ {
+							s += mx.At(a, i) * my.At(b, j) * mz.At(c, l) * in.At(i, j, l)
+						}
+					}
+				}
+				if !almostEq(out.At(a, b, c), s, 1e-10) {
+					t.Fatalf("(%d,%d,%d): %v, want %v", a, b, c, out.At(a, b, c), s)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkGemm20(b *testing.B) {
+	// The paper's MRA projection step is dominated by GEMMs on ~20² blocks.
+	a := NewMatrix(20, 20)
+	bb := NewMatrix(20, 20)
+	c := NewMatrix(20, 20)
+	for i := range a.Data {
+		a.Data[i] = float64(i)
+		bb.Data[i] = float64(i) * 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(1, a, bb, 0, c)
+	}
+}
+
+func BenchmarkTransform3DK10(b *testing.B) {
+	const k = 10
+	m := NewMatrix(k, k)
+	for i := range m.Data {
+		m.Data[i] = float64(i%7) * 0.1
+	}
+	in, out, scratch := NewCube(k), NewCube(k), NewCube(k)
+	for i := range in.Data {
+		in.Data[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transform3D(in, m, m, m, out, scratch)
+	}
+}

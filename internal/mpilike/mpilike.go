@@ -1,0 +1,88 @@
+// Package mpilike is the MPI baseline: one goroutine per rank, rank-private
+// data, and explicit point-to-point messages over buffered channels. There
+// is no task abstraction at all — which is why this contender shows the
+// lowest per-"task" overhead in the paper's single-core Task-Bench results
+// (Fig. 7): the work loop is just computation plus neighbor exchange.
+package mpilike
+
+import "sync"
+
+// World is a fixed-size set of ranks with all-pairs message channels.
+type World struct {
+	size  int
+	chans [][]chan []float64
+
+	barMu    sync.Mutex
+	barCount int
+	barGen   int
+	barCond  *sync.Cond
+}
+
+// NewWorld creates a world of n ranks; channel capacity `buf` per pair.
+func NewWorld(n, buf int) *World {
+	w := &World{size: n, chans: make([][]chan []float64, n)}
+	for i := range w.chans {
+		w.chans[i] = make([]chan []float64, n)
+		for j := range w.chans[i] {
+			w.chans[i][j] = make(chan []float64, buf)
+		}
+	}
+	w.barCond = sync.NewCond(&w.barMu)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Rank is one rank's endpoint, used inside its goroutine only.
+type Rank struct {
+	world *World
+	rank  int
+}
+
+// Run spawns one goroutine per rank executing body and waits for all.
+func (w *World) Run(body func(r *Rank)) {
+	var wg sync.WaitGroup
+	for i := 0; i < w.size; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body(&Rank{world: w, rank: i})
+		}(i)
+	}
+	wg.Wait()
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.rank }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.world.size }
+
+// Send delivers data to rank dst (blocking only if the pair buffer is full).
+func (r *Rank) Send(dst int, data []float64) {
+	r.world.chans[r.rank][dst] <- data
+}
+
+// Recv receives the next message from rank src (blocking).
+func (r *Rank) Recv(src int) []float64 {
+	return <-r.world.chans[src][r.rank]
+}
+
+// Barrier synchronizes all ranks (centralized sense-reversing barrier).
+func (r *Rank) Barrier() {
+	w := r.world
+	w.barMu.Lock()
+	gen := w.barGen
+	w.barCount++
+	if w.barCount == w.size {
+		w.barCount = 0
+		w.barGen++
+		w.barCond.Broadcast()
+	} else {
+		for gen == w.barGen {
+			w.barCond.Wait()
+		}
+	}
+	w.barMu.Unlock()
+}

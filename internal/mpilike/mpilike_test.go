@@ -1,0 +1,117 @@
+package mpilike
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPingPong(t *testing.T) {
+	w := NewWorld(2, 4)
+	var last float64
+	w.Run(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, []float64{1})
+			for i := 0; i < 100; i++ {
+				v := r.Recv(1)
+				r.Send(1, []float64{v[0] + 1})
+			}
+		} else {
+			for i := 0; i < 100; i++ {
+				v := r.Recv(0)
+				r.Send(0, []float64{v[0] + 1})
+			}
+			last = r.Recv(0)[0]
+		}
+	})
+	if last != 201 {
+		t.Fatalf("final value %v, want 201", last)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 5
+	w := NewWorld(n, 1)
+	var phase atomic.Int32
+	var errs atomic.Int32
+	w.Run(func(r *Rank) {
+		for p := int32(1); p <= 50; p++ {
+			phase.Add(1)
+			r.Barrier()
+			// After the barrier every rank must observe all n arrivals of
+			// this phase.
+			if phase.Load() < p*n {
+				errs.Add(1)
+			}
+			r.Barrier()
+		}
+	})
+	if errs.Load() != 0 {
+		t.Fatalf("%d barrier violations", errs.Load())
+	}
+}
+
+func TestHaloExchangeStencil(t *testing.T) {
+	// Each rank owns one cell; 20 steps of a 1D sum stencil with halo
+	// exchange must match the sequential result.
+	const n = 8
+	const steps = 20
+	w := NewWorld(n, 2)
+	results := make([]float64, n)
+	w.Run(func(r *Rank) {
+		id := r.ID()
+		v := float64(id)
+		for s := 0; s < steps; s++ {
+			var left, right float64
+			if id > 0 {
+				r.Send(id-1, []float64{v})
+			}
+			if id < n-1 {
+				r.Send(id+1, []float64{v})
+			}
+			if id > 0 {
+				left = r.Recv(id - 1)[0]
+			}
+			if id < n-1 {
+				right = r.Recv(id + 1)[0]
+			}
+			v = left + v + right
+		}
+		results[id] = v
+	})
+	// Sequential reference.
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i)
+	}
+	for s := 0; s < steps; s++ {
+		for i := 0; i < n; i++ {
+			v := a[i]
+			if i > 0 {
+				v += a[i-1]
+			}
+			if i < n-1 {
+				v += a[i+1]
+			}
+			b[i] = v
+		}
+		a, b = b, a
+	}
+	for i := range results {
+		if results[i] != a[i] {
+			t.Fatalf("rank %d: %v, want %v", i, results[i], a[i])
+		}
+	}
+}
+
+func TestWorldSize(t *testing.T) {
+	w := NewWorld(3, 1)
+	if w.Size() != 3 {
+		t.Fatalf("Size = %d", w.Size())
+	}
+	w.Run(func(r *Rank) {
+		if r.Size() != 3 {
+			t.Errorf("rank Size = %d", r.Size())
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package mra
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"gottg/internal/comm"
+	"gottg/internal/core"
+	"gottg/internal/rt"
+)
+
+func TestOctantRankConsistency(t *testing.T) {
+	// All nodes of a level-1 subtree must map to the same rank as their
+	// level-1 ancestor (data/task placement consistency).
+	for _, ranks := range []int{2, 3, 4} {
+		for f := uint8(0); f < 4; f++ {
+			for oct := uint32(0); oct < 8; oct++ {
+				ox, oy, oz := oct>>2&1, oct>>1&1, oct&1
+				own := octantRank(core.Pack4D(f, 1, ox, oy, oz), ranks)
+				// Descend a few levels inside the octant.
+				x, y, z := ox, oy, oz
+				for n := uint8(2); n <= 5; n++ {
+					x, y, z = x*2+1, y*2, z*2+1
+					if x >= 1<<n {
+						x = 1<<n - 1
+					}
+					got := octantRank(core.Pack4D(f, n, x, y, z), ranks)
+					if got != own {
+						t.Fatalf("ranks=%d f=%d oct=%d level %d maps to %d, ancestor to %d",
+							ranks, f, oct, n, got, own)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDistributedMRAMatchesShared(t *testing.T) {
+	p := smallProblem(2)
+	// Shared-memory reference run.
+	_, sharedRes := Run(p, ttgCfg(2))
+
+	const ranks = 4
+	world := comm.NewWorld(ranks)
+	forests := make([]*Forest, ranks)
+	graphs := make([]*core.Graph, ranks)
+	mras := make([]*Graph, ranks)
+	b := NewBasis(p.K)
+	for r := 0; r < ranks; r++ {
+		forests[r] = &Forest{}
+		cfg := rt.OptimizedConfig(1)
+		cfg.PinWorkers = false
+		graphs[r] = core.NewDistributed(cfg, world.Proc(r))
+		mras[r] = NewGraph(graphs[r], p, b, forests[r])
+		mras[r].Distribute(ranks)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			graphs[r].MakeExecutable()
+			mras[r].Seed() // SPMD: every rank seeds; owners keep
+			graphs[r].Wait()
+		}(r)
+	}
+	wg.Wait()
+	world.Shutdown()
+
+	// Aggregate rank-local forests and compare with the shared run.
+	var total Stats
+	leavesReconstructed := 0
+	badRecon := 0
+	for r := 0; r < ranks; r++ {
+		st := forests[r].Stats()
+		total.Leaves += st.Leaves
+		total.Interior += st.Interior
+		total.SNorm2 += st.SNorm2
+		if st.MaxDepth > total.MaxDepth {
+			total.MaxDepth = st.MaxDepth
+		}
+		forests[r].Range(func(_ uint64, nd *Node) bool {
+			if nd.Leaf && nd.HasR {
+				leavesReconstructed++
+				for i := range nd.S.Data {
+					if math.Abs(nd.S.Data[i]-nd.R.Data[i]) > 1e-9 {
+						badRecon++
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	want := sharedRes.Stats
+	if total.Leaves != want.Leaves || total.Interior != want.Interior || total.MaxDepth != want.MaxDepth {
+		t.Fatalf("distributed tree %+v differs from shared %+v", total, want)
+	}
+	if math.Abs(total.SNorm2-want.SNorm2) > 1e-9*(1+want.SNorm2) {
+		t.Fatalf("coefficient norms differ: %v vs %v", total.SNorm2, want.SNorm2)
+	}
+	if leavesReconstructed != want.Leaves {
+		t.Fatalf("reconstructed %d of %d leaves", leavesReconstructed, want.Leaves)
+	}
+	if badRecon != 0 {
+		t.Fatalf("%d leaves reconstructed incorrectly", badRecon)
+	}
+}

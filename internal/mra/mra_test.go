@@ -1,0 +1,276 @@
+package mra
+
+import (
+	"math"
+	"testing"
+
+	"gottg/internal/core"
+	"gottg/internal/linalg"
+	"gottg/internal/rt"
+)
+
+func TestTwoScaleOrthonormality(t *testing.T) {
+	// The two-scale map must satisfy H0·H0ᵀ + H1·H1ᵀ = I.
+	for _, k := range []int{3, 6, 10} {
+		b := NewBasis(k)
+		sum := linalg.NewMatrix(k, k)
+		linalg.Gemm(1, b.H0, b.H0T, 0, sum)
+		linalg.Gemm(1, b.H1, b.H1T, 1, sum)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(sum.At(i, j)-want) > 1e-10 {
+					t.Fatalf("k=%d: (H0H0ᵀ+H1H1ᵀ)[%d,%d] = %v", k, i, j, sum.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestTwoScaleConsistency(t *testing.T) {
+	// Projecting a smooth polynomial at level 1 and filtering must equal
+	// the direct level-0 projection (two-scale relation).
+	b := NewBasis(6)
+	f := func(x, y, z float64) float64 { return 1 + x + x*y + 3*z*z }
+	direct := b.ProjectBox(f, 0, 0, 0, 0)
+	var cs [8]linalg.Cube
+	for c := 0; c < 8; c++ {
+		cs[c] = b.ProjectBox(f, 1, uint32(c>>2&1), uint32(c>>1&1), uint32(c&1))
+	}
+	parent, _, norm := b.FilterResiduals(&cs)
+	for i := range direct.Data {
+		if math.Abs(direct.Data[i]-parent.Data[i]) > 1e-11 {
+			t.Fatalf("filtered parent differs from direct projection at %d: %v vs %v",
+				i, parent.Data[i], direct.Data[i])
+		}
+	}
+	// A degree<k polynomial is exactly representable: residual ~ 0.
+	if norm > 1e-10 {
+		t.Fatalf("polynomial of degree < k has residual %v", norm)
+	}
+}
+
+func TestFilterUnfilterRoundTrip(t *testing.T) {
+	// Unfilter(parent)+d must reproduce the children exactly.
+	b := NewBasis(5)
+	var cs [8]linalg.Cube
+	seed := 1.0
+	for c := 0; c < 8; c++ {
+		cs[c] = linalg.NewCube(5)
+		for i := range cs[c].Data {
+			seed = math.Mod(seed*1.618+0.1, 1)
+			cs[c].Data[i] = seed
+		}
+	}
+	parent, d, _ := b.FilterResiduals(&cs)
+	for c := 0; c < 8; c++ {
+		rec := b.Unfilter(parent, c)
+		rec.AddScaled(1, d[c])
+		for i := range rec.Data {
+			if math.Abs(rec.Data[i]-cs[c].Data[i]) > 1e-12 {
+				t.Fatalf("child %d element %d: %v vs %v", c, i, rec.Data[i], cs[c].Data[i])
+			}
+		}
+	}
+}
+
+func TestProjectBoxEvalPolynomial(t *testing.T) {
+	// EvalBox(ProjectBox(f)) == f for polynomials of degree < k.
+	b := NewBasis(6)
+	f := func(x, y, z float64) float64 { return 2 + x*x - y + 0.5*z*x }
+	s := b.ProjectBox(f, 2, 1, 2, 3)
+	h := 0.25
+	pts := [][3]float64{{0.3, 0.6, 0.8}, {0.26, 0.51, 0.76}, {0.49, 0.74, 0.99}}
+	for _, pt := range pts {
+		x, y, z := pt[0], pt[1], pt[2]
+		// ensure inside the box (1,2,3)@level2 = [0.25,0.5)x[0.5,0.75)x[0.75,1)
+		if x < 1*h || x >= 2*h || y < 2*h || y >= 3*h || z < 3*h {
+			t.Fatalf("test point %v outside box", pt)
+		}
+		got := b.EvalBox(s, 2, 1, 2, 3, x, y, z)
+		if math.Abs(got-f(x, y, z)) > 1e-10 {
+			t.Fatalf("eval(%v) = %v, want %v", pt, got, f(x, y, z))
+		}
+	}
+}
+
+func smallProblem(nf int) *Problem {
+	p := DefaultProblem(nf)
+	p.K = 5
+	p.Tol = 1e-2
+	p.MaxLevel = 5
+	for i := range p.Funcs {
+		p.Funcs[i].Expnt = 50 // mild: laptop-fast trees
+	}
+	return p
+}
+
+func TestSeqProjectionAccuracy(t *testing.T) {
+	p := smallProblem(1)
+	p.Tol = 1e-4
+	p.MaxLevel = 7
+	b := NewBasis(p.K)
+	fo := &Forest{}
+	p.ProjectSeq(b, fo, 0)
+	f := p.UnitEval(0)
+	// Sample near and away from the Gaussian center.
+	c := p.Funcs[0].Center
+	ux := (c[0] + p.L) / (2 * p.L)
+	uy := (c[1] + p.L) / (2 * p.L)
+	uz := (c[2] + p.L) / (2 * p.L)
+	var maxErr, maxVal float64
+	for _, dx := range []float64{0, 0.01, 0.05, 0.2} {
+		x, y, z := ux+dx, uy+dx/2, uz-dx/3
+		if x >= 1 || y >= 1 || z < 0 {
+			continue
+		}
+		got := p.Eval(b, fo, 0, x, y, z)
+		want := f(x, y, z)
+		if e := math.Abs(got - want); e > maxErr {
+			maxErr = e
+		}
+		if v := math.Abs(want); v > maxVal {
+			maxVal = v
+		}
+	}
+	if maxVal == 0 {
+		t.Fatal("test points all outside support")
+	}
+	if maxErr/maxVal > 1e-2 {
+		t.Fatalf("relative projection error %v too large", maxErr/maxVal)
+	}
+}
+
+func TestSeqCompressReconstructExact(t *testing.T) {
+	p := smallProblem(2)
+	b := NewBasis(p.K)
+	fo := &Forest{}
+	for fi := range p.Funcs {
+		p.ProjectSeq(b, fo, fi)
+		root := p.CompressSeq(b, fo, fi)
+		p.ReconstructSeq(b, fo, fi, root)
+	}
+	// Every leaf must have R == S to machine precision.
+	checked := 0
+	fo.nodes.Range(func(k, v any) bool {
+		nd := v.(*Node)
+		if !nd.Leaf {
+			return true
+		}
+		if !nd.HasR {
+			t.Errorf("leaf %x never reconstructed", k)
+			return false
+		}
+		for i := range nd.S.Data {
+			if math.Abs(nd.S.Data[i]-nd.R.Data[i]) > 1e-9 {
+				t.Errorf("leaf %x coeff %d: %v vs %v", k, i, nd.S.Data[i], nd.R.Data[i])
+				return false
+			}
+		}
+		checked++
+		return true
+	})
+	if checked < 8 {
+		t.Fatalf("only %d leaves checked", checked)
+	}
+}
+
+func ttgCfg(workers int) rt.Config {
+	c := rt.OptimizedConfig(workers)
+	c.PinWorkers = false
+	return c
+}
+
+func TestTTGMatchesSequential(t *testing.T) {
+	p := smallProblem(3)
+	// Sequential reference.
+	b := NewBasis(p.K)
+	seqFo := &Forest{}
+	for fi := range p.Funcs {
+		p.ProjectSeq(b, seqFo, fi)
+		root := p.CompressSeq(b, seqFo, fi)
+		p.ReconstructSeq(b, seqFo, fi, root)
+	}
+	seqStats := seqFo.Stats()
+
+	// TTG run.
+	fo, res := Run(p, ttgCfg(4))
+	st := res.Stats
+
+	if st.Leaves != seqStats.Leaves || st.Interior != seqStats.Interior || st.MaxDepth != seqStats.MaxDepth {
+		t.Fatalf("tree shape differs: ttg %+v vs seq %+v", st, seqStats)
+	}
+	if math.Abs(st.SNorm2-seqStats.SNorm2) > 1e-9*(1+seqStats.SNorm2) {
+		t.Fatalf("coefficient norms differ: %v vs %v", st.SNorm2, seqStats.SNorm2)
+	}
+	// Reconstruction exactness in the TTG run too.
+	bad := 0
+	fo.nodes.Range(func(k, v any) bool {
+		nd := v.(*Node)
+		if nd.Leaf {
+			if !nd.HasR {
+				bad++
+				return false
+			}
+			for i := range nd.S.Data {
+				if math.Abs(nd.S.Data[i]-nd.R.Data[i]) > 1e-9 {
+					bad++
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if bad != 0 {
+		t.Fatal("TTG reconstruction mismatch")
+	}
+	if res.Tasks == 0 {
+		t.Fatal("no tasks recorded")
+	}
+}
+
+func TestTTGOriginalConfigMatches(t *testing.T) {
+	p := smallProblem(1)
+	cfg := rt.OriginalConfig(2)
+	cfg.PinWorkers = false
+	_, resOrig := Run(p, cfg)
+	_, resOpt := Run(p, ttgCfg(2))
+	if resOrig.Stats.Leaves != resOpt.Stats.Leaves {
+		t.Fatalf("original vs optimized disagree: %+v vs %+v", resOrig.Stats, resOpt.Stats)
+	}
+}
+
+func TestSpecialRefinementCatchesSharpGaussian(t *testing.T) {
+	// A Gaussian so sharp that coarse quadrature misses it: without the
+	// special-points rule the tree would be trivial and the norm ~ 0.
+	p := DefaultProblem(1)
+	p.K = 5
+	p.Tol = 1e-2
+	p.MaxLevel = 9
+	p.Funcs[0].Expnt = 30000 // the paper's exponent
+	b := NewBasis(p.K)
+	fo := &Forest{}
+	p.ProjectSeq(b, fo, 0)
+	st := fo.Stats()
+	if st.MaxDepth < 5 {
+		t.Fatalf("sharp Gaussian only refined to depth %d", st.MaxDepth)
+	}
+	if st.SNorm2 < 1e-6 {
+		t.Fatalf("sharp Gaussian norm² = %v — quadrature missed the peak", st.SNorm2)
+	}
+}
+
+func TestParentKeyAndChild(t *testing.T) {
+	key := core.Pack4D(3, 4, 0b1010, 0b0111, 0b1101)
+	pk, ci := parentKeyAndChild(key)
+	f, n, lx, ly, lz := core.Unpack4D(pk)
+	if f != 3 || n != 3 || lx != 0b101 || ly != 0b011 || lz != 0b110 {
+		t.Fatalf("parent key wrong: %d %d %b %b %b", f, n, lx, ly, lz)
+	}
+	if ci != 0b011 { // x even(0), y odd(1), z odd(1)
+		t.Fatalf("child index = %b", ci)
+	}
+}

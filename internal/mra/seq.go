@@ -1,0 +1,149 @@
+package mra
+
+import (
+	"math"
+
+	"gottg/internal/core"
+	"gottg/internal/linalg"
+)
+
+// sigmaUnit returns the Gaussian's standard deviation in unit-cube
+// coordinates.
+func (p *Problem) sigmaUnit(fi int) float64 {
+	return 1 / math.Sqrt(2*p.Funcs[fi].Expnt) / (2 * p.L)
+}
+
+// needSpecial reports whether the box (n; l) must refine regardless of the
+// residual because it contains function fi's center and the quadrature grid
+// cannot yet resolve the peak — the analogue of MADNESS's special-points
+// refinement for sharp functions. Without it, coarse-level quadrature can
+// miss a narrow Gaussian entirely and the tree silently collapses to zero.
+func (p *Problem) needSpecial(fi, n int, lx, ly, lz uint32) bool {
+	if n >= p.MaxLevel {
+		return false
+	}
+	h := 1.0 / float64(uint64(1)<<uint(n))
+	c := p.Funcs[fi].Center
+	for d := 0; d < 3; d++ {
+		u := (c[d] + p.L) / (2 * p.L) // center in unit coords
+		lo := float64([3]uint32{lx, ly, lz}[d]) * h
+		if u < lo || u >= lo+h {
+			return false
+		}
+	}
+	return h/float64(p.K) > p.sigmaUnit(fi)/2
+}
+
+// ProjectSeq projects function fi into forest fo sequentially (the
+// reference implementation the TTG run is validated against). Returns the
+// number of project tasks an equivalent task-based run would execute.
+func (p *Problem) ProjectSeq(b *Basis, fo *Forest, fi int) int {
+	f := p.UnitEval(fi)
+	tasks := 0
+	var rec func(n int, lx, ly, lz uint32)
+	rec = func(n int, lx, ly, lz uint32) {
+		tasks++
+		var cs [8]linalg.Cube
+		for c := 0; c < 8; c++ {
+			cx := lx*2 + uint32(c>>2&1)
+			cy := ly*2 + uint32(c>>1&1)
+			cz := lz*2 + uint32(c&1)
+			cs[c] = b.ProjectBox(f, n+1, cx, cy, cz)
+		}
+		_, _, norm := b.FilterResiduals(&cs)
+		if (norm <= p.Tol && !p.needSpecial(fi, n, lx, ly, lz)) || n+1 > p.MaxLevel {
+			// Accept: the 8 children become leaves.
+			for c := 0; c < 8; c++ {
+				cx := lx*2 + uint32(c>>2&1)
+				cy := ly*2 + uint32(c>>1&1)
+				cz := lz*2 + uint32(c&1)
+				nd := fo.get(core.Pack4D(uint8(fi), uint8(n+1), cx, cy, cz))
+				nd.S = cs[c]
+				nd.Leaf = true
+				nd.HasS = true
+			}
+			return
+		}
+		for c := 0; c < 8; c++ {
+			rec(n+1, lx*2+uint32(c>>2&1), ly*2+uint32(c>>1&1), lz*2+uint32(c&1))
+		}
+	}
+	rec(0, 0, 0, 0)
+	return tasks
+}
+
+// CompressSeq runs the upward pass sequentially for function fi: interior
+// nodes get their per-child residuals and the root's scaling coefficients
+// are returned.
+func (p *Problem) CompressSeq(b *Basis, fo *Forest, fi int) linalg.Cube {
+	var up func(n int, lx, ly, lz uint32) linalg.Cube
+	up = func(n int, lx, ly, lz uint32) linalg.Cube {
+		key := core.Pack4D(uint8(fi), uint8(n), lx, ly, lz)
+		if nd := fo.Lookup(key); nd != nil && nd.Leaf {
+			return nd.S
+		}
+		var cs [8]linalg.Cube
+		for c := 0; c < 8; c++ {
+			cs[c] = up(n+1, lx*2+uint32(c>>2&1), ly*2+uint32(c>>1&1), lz*2+uint32(c&1))
+		}
+		parent, d, _ := b.FilterResiduals(&cs)
+		nd := fo.get(key)
+		nd.D = d
+		nd.HasD = true
+		nd.S = parent
+		nd.HasS = true
+		return parent
+	}
+	return up(0, 0, 0, 0)
+}
+
+// ReconstructSeq runs the downward pass sequentially, writing reconstructed
+// leaf coefficients (Node.R).
+func (p *Problem) ReconstructSeq(b *Basis, fo *Forest, fi int, root linalg.Cube) {
+	var down func(n int, lx, ly, lz uint32, s linalg.Cube)
+	down = func(n int, lx, ly, lz uint32, s linalg.Cube) {
+		key := core.Pack4D(uint8(fi), uint8(n), lx, ly, lz)
+		nd := fo.Lookup(key)
+		if nd != nil && nd.Leaf {
+			nd.R = s
+			nd.HasR = true
+			return
+		}
+		for c := 0; c < 8; c++ {
+			sc := b.Unfilter(s, c)
+			if nd != nil && nd.HasD {
+				sc.AddScaled(1, nd.D[c])
+			}
+			down(n+1, lx*2+uint32(c>>2&1), ly*2+uint32(c>>1&1), lz*2+uint32(c&1), sc)
+		}
+	}
+	down(0, 0, 0, 0, root)
+}
+
+// Eval evaluates the projected representation at unit point (x,y,z) by
+// descending to the containing leaf.
+func (p *Problem) Eval(b *Basis, fo *Forest, fi int, x, y, z float64) float64 {
+	n := 0
+	var lx, ly, lz uint32
+	for {
+		key := core.Pack4D(uint8(fi), uint8(n), lx, ly, lz)
+		if nd := fo.Lookup(key); nd != nil && nd.Leaf {
+			return b.EvalBox(nd.S, n, lx, ly, lz, x, y, z)
+		}
+		if n > p.MaxLevel+1 {
+			return 0
+		}
+		h := 1.0 / float64(uint64(1)<<uint(n+1))
+		lx, ly, lz = lx*2, ly*2, lz*2
+		if x >= (float64(lx)+1)*h {
+			lx++
+		}
+		if y >= (float64(ly)+1)*h {
+			ly++
+		}
+		if z >= (float64(lz)+1)*h {
+			lz++
+		}
+		n++
+	}
+}

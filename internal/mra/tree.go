@@ -1,0 +1,134 @@
+package mra
+
+import (
+	"math"
+	"sync"
+
+	"gottg/internal/core"
+	"gottg/internal/linalg"
+)
+
+// Gaussian is one test function: exp(-Expnt·|x-Center|²) over the domain
+// cube [-L,L]³, normalized like the paper's MRA benchmark.
+type Gaussian struct {
+	Center [3]float64
+	Expnt  float64
+}
+
+// Problem describes an MRA run: the paper computes the representation of
+// NFunc 3D Gaussians (exponent 30000, centers random in [-6,6]³) to a given
+// precision with order-10 multiwavelets.
+type Problem struct {
+	K        int     // multiwavelet order (paper: 10)
+	Tol      float64 // refinement tolerance on the wavelet norm (paper: 1e-8)
+	MaxLevel int     // refinement depth cap
+	L        float64 // half-width of the domain cube (paper: 6)
+	Funcs    []Gaussian
+}
+
+// DefaultProblem builds a problem with nf Gaussians at deterministic
+// pseudo-random centers. The defaults (k=6, tol=1e-4, expnt=1000) are a
+// laptop-scale stand-in for the paper's k=10/1e-8/30000; flags on cmd/mra
+// restore paper scale.
+func DefaultProblem(nf int) *Problem {
+	p := &Problem{K: 6, Tol: 1e-4, MaxLevel: 8, L: 6}
+	rng := uint64(42)
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float64(rng%100000)/100000*10 - 5 // [-5,5], inside the box
+	}
+	for i := 0; i < nf; i++ {
+		p.Funcs = append(p.Funcs, Gaussian{
+			Center: [3]float64{next(), next(), next()},
+			Expnt:  1000,
+		})
+	}
+	return p
+}
+
+// UnitEval returns function fi evaluated in unit-cube coordinates: the
+// domain cube [-L,L]³ is mapped affinely onto [0,1]³.
+func (p *Problem) UnitEval(fi int) func(x, y, z float64) float64 {
+	g := p.Funcs[fi]
+	side := 2 * p.L
+	// Coefficient normalization (2a/π)^{3/4} as in MADNESS test functions.
+	fac := math.Pow(2*g.Expnt/math.Pi, 0.75)
+	return func(x, y, z float64) float64 {
+		dx := x*side - p.L - g.Center[0]
+		dy := y*side - p.L - g.Center[1]
+		dz := z*side - p.L - g.Center[2]
+		return fac * math.Exp(-g.Expnt*(dx*dx+dy*dy+dz*dz))
+	}
+}
+
+// Node is one octree node's stored state. Exactly one task writes each node
+// in each phase, so plain fields suffice under the sync.Map.
+type Node struct {
+	// Leaf scaling coefficients (projection output; reconstruct verifies).
+	S    linalg.Cube
+	Leaf bool
+	HasS bool
+	// Interior state written by compress: per-child residuals.
+	D    [8]linalg.Cube
+	HasD bool
+	// Reconstructed leaf coefficients (reconstruction output).
+	R    linalg.Cube
+	HasR bool
+}
+
+// Forest stores all functions' octrees.
+type Forest struct {
+	nodes sync.Map // key (core.Pack4D) -> *Node
+}
+
+// get returns the node for key, creating it if absent.
+func (f *Forest) get(key uint64) *Node {
+	if v, ok := f.nodes.Load(key); ok {
+		return v.(*Node)
+	}
+	v, _ := f.nodes.LoadOrStore(key, &Node{})
+	return v.(*Node)
+}
+
+// Range iterates every (key, node) pair until fn returns false.
+func (f *Forest) Range(fn func(key uint64, n *Node) bool) {
+	f.nodes.Range(func(k, v any) bool { return fn(k.(uint64), v.(*Node)) })
+}
+
+// Lookup returns the node for key, or nil.
+func (f *Forest) Lookup(key uint64) *Node {
+	if v, ok := f.nodes.Load(key); ok {
+		return v.(*Node)
+	}
+	return nil
+}
+
+// Stats summarizes a forest.
+type Stats struct {
+	Leaves, Interior int
+	MaxDepth         int
+	SNorm2           float64 // Σ over leaves of ||s||²
+}
+
+// Stats scans the forest.
+func (f *Forest) Stats() Stats {
+	var st Stats
+	f.nodes.Range(func(k, v any) bool {
+		n := v.(*Node)
+		_, lvl, _, _, _ := core.Unpack4D(k.(uint64))
+		if int(lvl) > st.MaxDepth {
+			st.MaxDepth = int(lvl)
+		}
+		if n.Leaf {
+			st.Leaves++
+			nn := n.S.Norm()
+			st.SNorm2 += nn * nn
+		} else if n.HasD {
+			st.Interior++
+		}
+		return true
+	})
+	return st
+}

@@ -1,0 +1,249 @@
+package mra
+
+import (
+	"time"
+
+	"gottg/internal/core"
+	"gottg/internal/linalg"
+	"gottg/internal/rt"
+)
+
+// cubeMsg is the datum flowing up (compress) and down (reconstruct) the
+// tree: a coefficient cube tagged with which child of the destination node
+// it belongs to.
+type cubeMsg struct {
+	Child int
+	S     linalg.Cube
+}
+
+// Graph wires the three-phase MRA computation as a TTG:
+//
+//	Project  (control flow, self-edge fan-out over the octree)
+//	Compress (aggregator terminal: 8 child cubes flow up)
+//	Reconstruct (cube flows down, residuals re-applied)
+//
+// All three phases of all functions execute concurrently under full
+// data-flow semantics: a subtree starts compressing as soon as its leaves
+// exist, even while distant subtrees still project.
+type Graph struct {
+	P      *Problem
+	B      *Basis
+	Forest *Forest
+
+	g        *core.Graph
+	project  *core.TT
+	compress *core.TT
+	recon    *core.TT
+}
+
+const (
+	outProjectSelf = 0 // Project -> Project (refine children)
+	outProjectUp   = 1 // Project -> Compress (accepted node's parent-s)
+	outProjectRoot = 2 // Project -> Reconstruct (root accepted immediately)
+	outCompressUp  = 0 // Compress -> Compress
+	outCompressDn  = 1 // Compress -> Reconstruct (root reached)
+	outReconDn     = 0 // Reconstruct -> Reconstruct
+)
+
+// parentKeyAndChild returns the compress destination for node (fi,n,l): the
+// parent's key and this node's child index within it.
+func parentKeyAndChild(key uint64) (uint64, int) {
+	f, n, lx, ly, lz := core.Unpack4D(key)
+	ci := int(lx&1)<<2 | int(ly&1)<<1 | int(lz&1)
+	return core.Pack4D(f, n-1, lx/2, ly/2, lz/2), ci
+}
+
+// NewGraph builds the MRA TTG over an existing core graph (so callers
+// control the runtime configuration and can embed it in larger programs).
+func NewGraph(g *core.Graph, p *Problem, b *Basis, fo *Forest) *Graph {
+	m := &Graph{P: p, B: b, Forest: fo, g: g}
+
+	eProject := core.NewEdge("mra.project")
+	eCompress := core.NewEdge("mra.compress")
+	eRecon := core.NewEdge("mra.reconstruct")
+
+	project := g.NewTT("mra.Project", 1, 3, func(tc core.TaskContext) {
+		m.projectBody(tc)
+	}).WithPriority(func(key uint64) int32 {
+		_, n, _, _, _ := core.Unpack4D(key)
+		return int32(n) // deeper first: chase the refinement frontier
+	})
+
+	compress := g.NewTT("mra.Compress", 1, 2, func(tc core.TaskContext) {
+		m.compressBody(tc)
+	}).WithAggregator(0, func(uint64) int { return 8 }).
+		WithPriority(func(key uint64) int32 {
+			_, n, _, _, _ := core.Unpack4D(key)
+			return 64 + int32(n) // compress outranks projection: shrink memory
+		})
+
+	recon := g.NewTT("mra.Reconstruct", 1, 1, func(tc core.TaskContext) {
+		m.reconBody(tc)
+	})
+
+	project.Out(outProjectSelf, eProject)
+	project.Out(outProjectUp, eCompress)
+	project.Out(outProjectRoot, eRecon)
+	compress.Out(outCompressUp, eCompress)
+	compress.Out(outCompressDn, eRecon)
+	recon.Out(outReconDn, eRecon)
+	eProject.To(project, 0)
+	eCompress.To(compress, 0)
+	eRecon.To(recon, 0)
+
+	m.project = project
+	m.compress = compress
+	m.recon = recon
+	return m
+}
+
+// Seed invokes the projection roots for every function. Call between
+// MakeExecutable and Wait.
+func (m *Graph) Seed() {
+	for fi := range m.P.Funcs {
+		m.g.InvokeControl(m.project, core.Pack4D(uint8(fi), 0, 0, 0, 0))
+	}
+}
+
+func (m *Graph) projectBody(tc core.TaskContext) {
+	key := tc.Key()
+	fi8, n8, lx, ly, lz := core.Unpack4D(key)
+	fi, n := int(fi8), int(n8)
+	p, b, fo := m.P, m.B, m.Forest
+	f := p.UnitEval(fi)
+
+	var cs [8]linalg.Cube
+	for c := 0; c < 8; c++ {
+		cs[c] = b.ProjectBox(f, n+1,
+			lx*2+uint32(c>>2&1), ly*2+uint32(c>>1&1), lz*2+uint32(c&1))
+	}
+	parent, d, norm := b.FilterResiduals(&cs)
+	if (norm <= p.Tol && !p.needSpecial(fi, n, lx, ly, lz)) || n+1 > p.MaxLevel {
+		// Accept: children become leaves; this node's compress output is
+		// already known (parent s + residuals).
+		for c := 0; c < 8; c++ {
+			cKey := core.Pack4D(fi8, n8+1,
+				lx*2+uint32(c>>2&1), ly*2+uint32(c>>1&1), lz*2+uint32(c&1))
+			nd := fo.get(cKey)
+			nd.S = cs[c]
+			nd.Leaf = true
+			nd.HasS = true
+		}
+		nd := fo.get(key)
+		nd.D = d
+		nd.HasD = true
+		nd.S = parent
+		nd.HasS = true
+		if n == 0 {
+			tc.Send(outProjectRoot, key, &cubeMsg{S: parent})
+			return
+		}
+		pKey, ci := parentKeyAndChild(key)
+		tc.Send(outProjectUp, pKey, &cubeMsg{Child: ci, S: parent})
+		return
+	}
+	// Refine into the 8 children.
+	for c := 0; c < 8; c++ {
+		tc.SendControl(outProjectSelf, core.Pack4D(fi8, n8+1,
+			lx*2+uint32(c>>2&1), ly*2+uint32(c>>1&1), lz*2+uint32(c&1)))
+	}
+}
+
+func (m *Graph) compressBody(tc core.TaskContext) {
+	key := tc.Key()
+	_, n, _, _, _ := core.Unpack4D(key)
+	agg := tc.Aggregate(0)
+	var cs [8]linalg.Cube
+	for i := 0; i < agg.Len(); i++ {
+		msg := agg.Value(i).(*cubeMsg)
+		cs[msg.Child] = msg.S
+	}
+	parent, d, _ := m.B.FilterResiduals(&cs)
+	nd := m.Forest.get(key)
+	nd.D = d
+	nd.HasD = true
+	nd.S = parent
+	nd.HasS = true
+	if n == 0 {
+		tc.Send(outCompressDn, key, &cubeMsg{S: parent})
+		return
+	}
+	pKey, ci := parentKeyAndChild(key)
+	tc.Send(outCompressUp, pKey, &cubeMsg{Child: ci, S: parent})
+}
+
+func (m *Graph) reconBody(tc core.TaskContext) {
+	key := tc.Key()
+	fi8, n8, lx, ly, lz := core.Unpack4D(key)
+	s := tc.Value(0).(*cubeMsg).S
+	nd := m.Forest.Lookup(key)
+	if nd == nil {
+		// Every reconstruct target must exist locally: leaves and interior
+		// nodes are stored on the rank that owns them. Reaching an unknown
+		// node means the distribution placed data and tasks inconsistently
+		// (see Distribute's accept-at-root caveat).
+		panic("mra: reconstruct reached an unknown node")
+	}
+	if nd.Leaf {
+		nd.R = s
+		nd.HasR = true
+		return
+	}
+	for c := 0; c < 8; c++ {
+		sc := m.B.Unfilter(s, c)
+		if nd != nil && nd.HasD {
+			sc.AddScaled(1, nd.D[c])
+		}
+		cKey := core.Pack4D(fi8, n8+1,
+			lx*2+uint32(c>>2&1), ly*2+uint32(c>>1&1), lz*2+uint32(c&1))
+		tc.Send(outReconDn, cKey, &cubeMsg{S: sc})
+	}
+}
+
+// Result summarizes a run.
+type Result struct {
+	Elapsed  time.Duration
+	Tasks    int64
+	Stats    Stats
+	Workers  int
+	SchedNam string
+}
+
+// Run executes the full three-phase MRA computation for p under cfg and
+// returns the forest plus run statistics. This is the Fig. 12 workload.
+func Run(p *Problem, cfg rt.Config) (*Forest, Result) {
+	return run(p, cfg, nil)
+}
+
+// RunTraced is Run with per-task execution tracing enabled; after the run
+// completes, sink receives the graph (dump with
+// g.Runtime().WriteChromeTrace or inspect g.Runtime().Trace()).
+func RunTraced(p *Problem, cfg rt.Config, sink func(g *core.Graph)) (*Forest, Result) {
+	return run(p, cfg, sink)
+}
+
+func run(p *Problem, cfg rt.Config, sink func(g *core.Graph)) (*Forest, Result) {
+	b := NewBasis(p.K)
+	fo := &Forest{}
+	g := core.New(cfg)
+	m := NewGraph(g, p, b, fo)
+	if sink != nil {
+		g.EnableTracing()
+	}
+	g.MakeExecutable()
+	t0 := time.Now()
+	m.Seed()
+	g.Wait()
+	elapsed := time.Since(t0)
+	exec, _, _ := g.Runtime().Stats()
+	if sink != nil {
+		sink(g)
+	}
+	return fo, Result{
+		Elapsed:  elapsed,
+		Tasks:    exec,
+		Stats:    fo.Stats(),
+		Workers:  g.Runtime().Config().Workers,
+		SchedNam: g.Runtime().SchedulerName(),
+	}
+}

@@ -1,0 +1,184 @@
+// Package omptask is the OpenMP-tasks baseline: tasks with address-based
+// in/out dependencies, matched against previously submitted tasks, executed
+// by a team sharing one centrally locked task queue — structurally faithful
+// to GCC libgomp's team->task_lock design, whose contention is why "OpenMP
+// Tasks (GCC)" scales worst in the paper's Figs. 7–8.
+package omptask
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Dep declares one dependence of a task on an abstract address. Write
+// corresponds to OpenMP depend(out/inout); read to depend(in).
+type Dep struct {
+	Addr  uint64
+	Write bool
+}
+
+// In builds a read dependence.
+func In(addr uint64) Dep { return Dep{Addr: addr} }
+
+// Out builds a write dependence.
+func Out(addr uint64) Dep { return Dep{Addr: addr, Write: true} }
+
+type task struct {
+	fn    func(thread int)
+	ndeps int
+	succs []*task
+	done  bool
+}
+
+type depRecord struct {
+	lastWriter *task
+	readers    []*task
+}
+
+// Runtime is an OpenMP-tasks-like execution team.
+type Runtime struct {
+	threads int
+
+	mu      sync.Mutex // THE lock: queue, dependence table, counters
+	queue   []*task    // ready FIFO
+	deps    map[uint64]*depRecord
+	pending int64
+
+	outstanding atomic.Int64
+	quit        atomic.Bool
+	wg          sync.WaitGroup
+}
+
+// New starts a team with `threads` workers (the caller is an additional
+// submitting/waiting thread, like an OpenMP master in a taskloop region).
+func New(threads int) *Runtime {
+	if threads < 1 {
+		threads = 1
+	}
+	r := &Runtime{
+		threads: threads,
+		deps:    map[uint64]*depRecord{},
+	}
+	for t := 0; t < threads; t++ {
+		r.wg.Add(1)
+		go r.worker(t)
+	}
+	return r
+}
+
+// Submit registers a task with dependencies. Matching is OpenMP-style:
+// a read depends on the last writer of each address; a write depends on the
+// last writer and all readers since.
+func (r *Runtime) Submit(deps []Dep, fn func(thread int)) {
+	t := &task{fn: fn}
+	r.outstanding.Add(1)
+	r.mu.Lock()
+	r.pending++
+	for _, d := range deps {
+		rec := r.deps[d.Addr]
+		if rec == nil {
+			rec = &depRecord{}
+			r.deps[d.Addr] = rec
+		}
+		if d.Write {
+			if rec.lastWriter != nil && !rec.lastWriter.done {
+				t.ndeps++
+				rec.lastWriter.succs = append(rec.lastWriter.succs, t)
+			}
+			for _, rd := range rec.readers {
+				if !rd.done {
+					t.ndeps++
+					rd.succs = append(rd.succs, t)
+				}
+			}
+			rec.lastWriter = t
+			rec.readers = rec.readers[:0]
+		} else {
+			if rec.lastWriter != nil && !rec.lastWriter.done {
+				t.ndeps++
+				rec.lastWriter.succs = append(rec.lastWriter.succs, t)
+			}
+			rec.readers = append(rec.readers, t)
+		}
+	}
+	if t.ndeps == 0 {
+		r.queue = append(r.queue, t)
+	}
+	r.mu.Unlock()
+}
+
+// pop takes a ready task (under the team lock).
+func (r *Runtime) pop() *task {
+	r.mu.Lock()
+	var t *task
+	if len(r.queue) > 0 {
+		t = r.queue[0]
+		r.queue = r.queue[1:]
+	}
+	r.mu.Unlock()
+	return t
+}
+
+// finish marks t complete and releases its successors.
+func (r *Runtime) finish(t *task) {
+	r.mu.Lock()
+	t.done = true
+	for _, s := range t.succs {
+		s.ndeps--
+		if s.ndeps == 0 {
+			r.queue = append(r.queue, s)
+		}
+	}
+	t.succs = nil
+	r.pending--
+	r.mu.Unlock()
+	r.outstanding.Add(-1)
+}
+
+func (r *Runtime) worker(tid int) {
+	defer r.wg.Done()
+	spins := 0
+	for {
+		t := r.pop()
+		if t == nil {
+			if r.quit.Load() {
+				return
+			}
+			spins++
+			if spins%64 == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		spins = 0
+		t.fn(tid)
+		r.finish(t)
+	}
+}
+
+// Wait blocks until all submitted tasks have completed (the caller helps
+// execute, like an OpenMP taskwait).
+func (r *Runtime) Wait() {
+	for r.outstanding.Load() != 0 {
+		if t := r.pop(); t != nil {
+			t.fn(r.threads) // master's thread id
+			r.finish(t)
+			continue
+		}
+		runtime.Gosched()
+	}
+	// Reclaim the dependence table between phases.
+	r.mu.Lock()
+	if r.pending == 0 {
+		r.deps = map[uint64]*depRecord{}
+	}
+	r.mu.Unlock()
+}
+
+// Close shuts the team down after outstanding work completes.
+func (r *Runtime) Close() {
+	r.Wait()
+	r.quit.Store(true)
+	r.wg.Wait()
+}

@@ -1,0 +1,72 @@
+package perfmodel
+
+import (
+	"sync/atomic"
+	"time"
+
+	"gottg/internal/rt"
+	"gottg/internal/spin"
+)
+
+// measureSchedOverhead runs n empty tasks through a real single-worker
+// runtime under the given scheduler and returns ns per task — the
+// uncontended runtime overhead o of DESIGN.md's model.
+func measureSchedOverhead(kind rt.SchedKind, n int64) float64 {
+	cfg := rt.Config{Workers: 1, Sched: kind, ThreadLocalTermDet: true, UsePools: true}.Normalize()
+	cfg.PinWorkers = false
+	r := rt.New(cfg)
+	var budget atomic.Int64
+	budget.Store(n)
+	var exec rt.ExecFn
+	exec = func(w *rt.Worker, t *rt.Task) {
+		if budget.Add(-1) > 0 {
+			nt := w.NewTask()
+			nt.Exec = exec
+			w.Discovered()
+			w.Schedule(nt)
+		}
+		w.Completed()
+		w.FreeTask(t)
+	}
+	r.BeginAction() // startup token
+	r.Start(false)
+	t0 := time.Now()
+	r.BeginAction() // the injected task's discovery (completed by the worker)
+	r.Inject(&rt.Task{Exec: exec})
+	r.EndAction() // release the startup token
+	r.WaitDone()
+	return float64(time.Since(t0).Nanoseconds()) / float64(n)
+}
+
+// measureUncontendedAtomic returns ns per uncontended atomic RMW.
+func measureUncontendedAtomic(n int) float64 {
+	var v atomic.Int64
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		v.Add(1)
+	}
+	return float64(time.Since(t0).Nanoseconds()) / float64(n)
+}
+
+// Calibrate measures the host-specific constants and combines them with the
+// architecture's contended-atomic slope (defaulting to the paper's AMD Rome
+// values when no multi-core measurement is possible).
+func Calibrate(arch ArchCosts) Calibration {
+	spin.Calibrate()
+	const n = 200_000
+	c := Calibration{Arch: arch}
+	c.LLPOverheadNs = measureSchedOverhead(rt.SchedLLP, n)
+	c.LFQOverheadNs = measureSchedOverhead(rt.SchedLFQ, n)
+	// The LFQ serialized section: with task pressure, every push overflows
+	// the 4-slot bounded buffer and both push and pop touch the global
+	// lock. The modeled hold time covers the lock RMW pair, queue pointer
+	// updates, and the remote-line pull of the queue head that a contended
+	// acquirer always pays.
+	au := measureUncontendedAtomic(n)
+	c.LFQGlobalNs = 4*au + 20
+	c.BarrierNsPerThread = 4 * au
+	if c.Arch.UncontendedNs <= 0 {
+		c.Arch.UncontendedNs = au
+	}
+	return c
+}

@@ -1,0 +1,149 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testCal() Calibration {
+	return Calibration{
+		LLPOverheadNs:      60,
+		LFQOverheadNs:      120,
+		LFQGlobalNs:        120,
+		BarrierNsPerThread: 20,
+		Arch:               AMDRome,
+	}
+}
+
+func TestThroughputMonotoneUntilSaturation(t *testing.T) {
+	m := testCal().LLP(10000, 2.7) // ~3.7µs tasks
+	prev := 0.0
+	for w := 1; w <= 64; w *= 2 {
+		x := m.Throughput(w)
+		if x < prev {
+			t.Fatalf("LLP throughput decreased at w=%d", w)
+		}
+		prev = x
+	}
+}
+
+func TestLFQSaturates(t *testing.T) {
+	c := testCal()
+	m := c.LFQ(0, 2.7) // empty tasks: the FIFO lock dominates
+	for w := 4; w <= 64; w *= 2 {
+		cap := 1 / (c.LFQGlobalNs + c.Arch.ContendedSlopeNs*float64(w-1))
+		if x := m.Throughput(w); x > cap*1.0001 {
+			t.Fatalf("throughput %v exceeds serial cap %v at w=%d", x, cap, w)
+		}
+	}
+	// Large tasks: not saturated, speedup near-linear.
+	big := c.LFQ(1_000_000, 2.7)
+	if s := big.Speedup(32); s < 25 {
+		t.Fatalf("large-task LFQ speedup %v; serialization should not bind", s)
+	}
+}
+
+func TestLLPBeatsLFQAtSmallTasks(t *testing.T) {
+	// The central claim of Fig. 6: at small task sizes and high thread
+	// counts LLP wins by a large factor; at huge task sizes they converge.
+	c := testCal()
+	small := 500 // cycles
+	if sLLP, sLFQ := c.LLP(small, 2.7).Speedup(64), c.LFQ(small, 2.7).Speedup(64); sLLP < 4*sLFQ {
+		t.Fatalf("LLP speedup %v not ≫ LFQ %v for small tasks", sLLP, sLFQ)
+	}
+	huge := 10_000_000
+	rLLP, rLFQ := c.LLP(huge, 2.7).Speedup(64), c.LFQ(huge, 2.7).Speedup(64)
+	if rLFQ < rLLP*0.9 {
+		t.Fatalf("for huge tasks LFQ (%v) should approach LLP (%v)", rLFQ, rLLP)
+	}
+}
+
+func TestOverheadPctShape(t *testing.T) {
+	// Fig. 6a: overhead falls with task size; LLP@64 drops below 1% around
+	// 40k cycles (paper's claim), and is below 2% at 10k cycles when the
+	// runtime overhead is a few hundred cycles.
+	c := testCal()
+	o40k := c.LLP(40_000, 2.7).OverheadPct(64)
+	o1k := c.LLP(1_000, 2.7).OverheadPct(64)
+	if o40k >= o1k {
+		t.Fatalf("overhead not decreasing with task size: %v vs %v", o40k, o1k)
+	}
+	if o40k > 1.0 {
+		t.Fatalf("LLP overhead at 40k cycles = %v%%, paper claims < 1%%", o40k)
+	}
+	// LFQ at 64 threads stays above 1% even at 100k cycles.
+	if o := c.LFQ(100_000, 2.7).OverheadPct(64); o < 1 {
+		t.Fatalf("LFQ overhead at 100k cycles = %v%%; expected > 1%% at 64 threads", o)
+	}
+}
+
+func TestContendedTermdetHurts(t *testing.T) {
+	// Fig. 9 shape: four-counter (contended) termdet must be slower at 64
+	// threads than thread-local, which must be slower-or-equal to the full
+	// optimization.
+	c := testCal()
+	cyc := 2000
+	orig := c.OriginalTTG(cyc, 2.7)
+	mid := c.ThreadLocalTermdetTTG(cyc, 2.7, 1)
+	opt := c.LLP(cyc, 2.7)
+	xOrig, xMid, xOpt := orig.Throughput(64), mid.Throughput(64), opt.Throughput(64)
+	if !(xOrig < xMid && xMid < xOpt) {
+		t.Fatalf("Fig.9 ordering violated: %v, %v, %v", xOrig, xMid, xOpt)
+	}
+}
+
+func TestSpeedupBounds(t *testing.T) {
+	f := func(cycles uint16, w uint8) bool {
+		c := testCal()
+		ww := int(w%64) + 1
+		m := c.LLP(int(cycles), 2.7)
+		s := m.Speedup(ww)
+		return s >= 0.99 && s <= float64(ww)*1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEfficiencyAndCoreTime(t *testing.T) {
+	m := testCal().LLP(10_000, 2.7)
+	if e := m.Efficiency(1); e < 0.999 || e > 1.001 {
+		t.Fatalf("efficiency at w=1 is %v", e)
+	}
+	if ct := m.CoreTimePerTaskNs(1); ct < m.TaskNs {
+		t.Fatalf("core time %v below pure work %v", ct, m.TaskNs)
+	}
+	if m.WithTask(5).TaskNs != 5 {
+		t.Fatal("WithTask broken")
+	}
+	if m.Throughput(0) != m.Throughput(1) {
+		t.Fatal("w<1 not clamped")
+	}
+}
+
+func TestCalibrateProducesSaneNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration timing in -short mode")
+	}
+	c := Calibrate(AMDRome)
+	if c.LLPOverheadNs <= 0 || c.LLPOverheadNs > 100_000 {
+		t.Fatalf("LLP overhead %v ns implausible", c.LLPOverheadNs)
+	}
+	if c.LFQOverheadNs <= 0 {
+		t.Fatalf("LFQ overhead %v ns implausible", c.LFQOverheadNs)
+	}
+	if c.LFQGlobalNs <= 0 || c.BarrierNsPerThread <= 0 {
+		t.Fatal("serialized-resource costs not positive")
+	}
+}
+
+func TestArchPresets(t *testing.T) {
+	if AMDRome.ContendedSlopeNs <= 0 || IBMPower9.ContendedSlopeNs <= 0 {
+		t.Fatal("arch slopes must be positive")
+	}
+	// Power9's contended atomics are substantially costlier per thread
+	// (Fig. 1), which is what widens the TTG/OpenMP gap on Summit.
+	if IBMPower9.ContendedSlopeNs < AMDRome.ContendedSlopeNs {
+		t.Fatal("Power9 slope should exceed AMD's")
+	}
+}

@@ -1,0 +1,179 @@
+package ptg
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"gottg/internal/rt"
+)
+
+func cfg(workers int) rt.Config {
+	c := rt.OptimizedConfig(workers)
+	c.PinWorkers = false
+	return c
+}
+
+func TestChainOfActivations(t *testing.T) {
+	g := New(cfg(1))
+	var count atomic.Int64
+	const N = 5000
+	var cl *Class
+	cl = g.NewClass("hop", nil, func(c Ctx, key uint64) {
+		count.Add(1)
+		if key < N {
+			c.Activate(cl, key+1)
+		}
+	})
+	g.MakeExecutable()
+	g.Invoke(cl, 1)
+	g.Wait()
+	if count.Load() != N {
+		t.Fatalf("ran %d, want %d", count.Load(), N)
+	}
+}
+
+func TestMultiActivationJoin(t *testing.T) {
+	// Each 'join' key needs 3 activations from 'src' tasks.
+	g := New(cfg(4))
+	var joins atomic.Int64
+	join := g.NewClass("join", func(uint64) int { return 3 }, func(c Ctx, key uint64) {
+		joins.Add(1)
+	})
+	src := g.NewClass("src", nil, func(c Ctx, key uint64) {
+		c.Activate(join, key/3)
+	})
+	g.MakeExecutable()
+	const J = 200
+	for i := uint64(0); i < 3*J; i++ {
+		g.Invoke(src, i)
+	}
+	g.Wait()
+	if joins.Load() != J {
+		t.Fatalf("joins = %d, want %d", joins.Load(), J)
+	}
+}
+
+func TestStencilShape(t *testing.T) {
+	// width W, steps T: task (t,p) activated by (t-1, p-1..p+1).
+	const W, T = 8, 50
+	g := New(cfg(4))
+	var ran atomic.Int64
+	ndeps := func(key uint64) int {
+		ts, p := key>>32, key&0xffffffff
+		if ts == 0 {
+			return 1
+		}
+		n := 1
+		if p > 0 {
+			n++
+		}
+		if p < W-1 {
+			n++
+		}
+		return n
+	}
+	var point *Class
+	point = g.NewClass("point", ndeps, func(c Ctx, key uint64) {
+		ran.Add(1)
+		ts, p := key>>32, key&0xffffffff
+		if ts == T-1 {
+			return
+		}
+		for d := -1; d <= 1; d++ {
+			np := int64(p) + int64(d)
+			if np >= 0 && np < W {
+				c.Activate(point, (ts+1)<<32|uint64(np))
+			}
+		}
+	})
+	g.MakeExecutable()
+	for p := uint64(0); p < W; p++ {
+		g.Invoke(point, p)
+	}
+	g.Wait()
+	if ran.Load() != W*T {
+		t.Fatalf("ran %d tasks, want %d", ran.Load(), W*T)
+	}
+}
+
+func TestBothPresetsComplete(t *testing.T) {
+	for _, mk := range []func(int) rt.Config{rt.OriginalConfig, rt.OptimizedConfig} {
+		c := mk(2)
+		c.PinWorkers = false
+		g := New(c)
+		var n atomic.Int64
+		var cl *Class
+		cl = g.NewClass("tree", nil, func(ctx Ctx, key uint64) {
+			n.Add(1)
+			lvl := key >> 32
+			if lvl < 10 {
+				idx := key & 0xffffffff
+				ctx.Activate(cl, (lvl+1)<<32|idx*2)
+				ctx.Activate(cl, (lvl+1)<<32|(idx*2+1))
+			}
+		})
+		g.MakeExecutable()
+		g.Invoke(cl, 0)
+		g.Wait()
+		if n.Load() != 1<<11-1 {
+			t.Fatalf("ran %d", n.Load())
+		}
+	}
+}
+
+func TestLifecyclePanics(t *testing.T) {
+	g := New(cfg(1))
+	cl := g.NewClass("x", nil, func(Ctx, uint64) {})
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Invoke before MakeExecutable", func() { g.Invoke(cl, 0) })
+	g.MakeExecutable()
+	mustPanic("NewClass after freeze", func() { g.NewClass("y", nil, func(Ctx, uint64) {}) })
+	mustPanic("MakeExecutable twice", func() { g.MakeExecutable() })
+	g.Wait()
+	mustPanic("Wait twice", func() { g.Wait() })
+}
+
+// Property: for random fan-in counts, every join runs exactly once after
+// receiving exactly its declared number of activations.
+func TestQuickRandomFanIn(t *testing.T) {
+	f := func(counts []uint8) bool {
+		if len(counts) == 0 {
+			return true
+		}
+		if len(counts) > 32 {
+			counts = counts[:32]
+		}
+		need := make([]int, len(counts))
+		total := 0
+		for i, c := range counts {
+			need[i] = int(c%5) + 1
+			total += need[i]
+		}
+		g := New(cfg(2))
+		var ran atomic.Int64
+		join := g.NewClass("join", func(key uint64) int { return need[key] },
+			func(c Ctx, key uint64) { ran.Add(1) })
+		src := g.NewClass("src", nil, func(c Ctx, key uint64) {
+			c.Activate(join, key>>32)
+		})
+		g.MakeExecutable()
+		for i := range need {
+			for j := 0; j < need[i]; j++ {
+				g.Invoke(src, uint64(i)<<32|uint64(j))
+			}
+		}
+		g.Wait()
+		return ran.Load() == int64(len(counts))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

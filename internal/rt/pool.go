@@ -1,0 +1,98 @@
+package rt
+
+import "sync/atomic"
+
+// Pool is a per-worker free list of task objects (paper §IV-E). Allocated
+// elements are returned to the pool they came from, avoiding imbalance
+// between allocating and deallocating workers.
+//
+// The owner pops from a private list without synchronization; remote workers
+// return objects by pushing onto a Treiber stack (one CAS), which the owner
+// swaps out wholesale when its private list runs dry — this keeps the
+// worst-case atomic cost at the paper's N_OP = 2 per task lifetime while the
+// common single-worker case costs zero RMWs.
+type Pool struct {
+	owner  *Worker
+	priv   *Task
+	shared atomic.Pointer[Task]
+	allocs int64 // heap allocations performed (statistics)
+}
+
+// Get returns a recycled task or a fresh one.
+func (p *Pool) Get(w *Worker) *Task {
+	if t := p.priv; t != nil {
+		p.priv = t.next
+		t.next = nil
+		return t
+	}
+	if head := p.shared.Swap(nil); head != nil {
+		w.countAtomic(&w.Atomics.Pool)
+		p.priv = head.next
+		head.next = nil
+		return head
+	}
+	p.allocs++
+	w.countAtomic(&w.Atomics.Alloc) // system allocator synchronization
+	return &Task{pool: p}
+}
+
+// Put recycles a task into its owning pool. The executing worker may differ
+// from the allocating worker; remote returns use the shared stack.
+func (p *Pool) Put(w *Worker, t *Task) {
+	t.reset()
+	if p.owner == w {
+		t.next = p.priv
+		p.priv = t
+		return
+	}
+	w.countAtomic(&w.Atomics.Pool)
+	for {
+		head := p.shared.Load()
+		t.next = head
+		if p.shared.CompareAndSwap(head, t) {
+			return
+		}
+	}
+}
+
+// Allocs reports how many tasks this pool allocated from the heap.
+func (p *Pool) Allocs() int64 { return p.allocs }
+
+// copyPool is the analogous free list for Copy objects.
+type copyPool struct {
+	owner  *Worker
+	priv   *Copy
+	shared atomic.Pointer[Copy]
+}
+
+func (p *copyPool) get(w *Worker) *Copy {
+	if c := p.priv; c != nil {
+		p.priv = c.next
+		c.next = nil
+		return c
+	}
+	if head := p.shared.Swap(nil); head != nil {
+		w.countAtomic(&w.Atomics.Pool)
+		p.priv = head.next
+		head.next = nil
+		return head
+	}
+	w.countAtomic(&w.Atomics.Alloc)
+	return &Copy{pool: p}
+}
+
+func (p *copyPool) put(w *Worker, c *Copy) {
+	if p.owner == w {
+		c.next = p.priv
+		p.priv = c
+		return
+	}
+	w.countAtomic(&w.Atomics.Pool)
+	for {
+		head := p.shared.Load()
+		c.next = head
+		if p.shared.CompareAndSwap(head, c) {
+			return
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gottg/internal/rwlock"
+	"gottg/internal/termdet"
+)
+
+// Runtime owns the execution resources: worker threads, the scheduler, the
+// termination detector, and per-worker memory pools. It corresponds to a
+// PaRSEC context bound to one process.
+type Runtime struct {
+	cfg     Config
+	workers []*Worker
+	sched   scheduler
+	inject  injector
+
+	// Det is the process-local termination detector. Frontends account
+	// discoveries/completions through Worker helpers or directly.
+	Det *termdet.Detector
+
+	service [2]*Worker
+	trace   *tracer
+
+	done    atomic.Bool
+	doneCh  chan struct{}
+	started atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// New builds a runtime with the given configuration (workers are not started
+// yet; call Start).
+func New(cfg Config) *Runtime {
+	cfg = cfg.Normalize()
+	r := &Runtime{
+		cfg:    cfg,
+		doneCh: make(chan struct{}),
+		Det:    termdet.New(cfg.Workers, cfg.ThreadLocalTermDet),
+	}
+	r.workers = make([]*Worker, cfg.Workers)
+	for i := range r.workers {
+		w := &Worker{ID: i, detSlot: i, htSlot: i, rt: r,
+			rngState: uint64(i)*0x9e3779b97f4a7c15 + 1, count: cfg.CountAtomics}
+		w.TaskPool.owner = w
+		w.copies.owner = w
+		r.workers[i] = w
+	}
+	for i := range r.service {
+		w := &Worker{ID: -1 - i, detSlot: termdet.ExternalSlot, htSlot: cfg.Workers + i,
+			rt: r, rngState: ^uint64(i) | 1, count: cfg.CountAtomics}
+		w.TaskPool.owner = w
+		w.copies.owner = w
+		r.service[i] = w
+	}
+	r.sched = newScheduler(cfg.Sched, r.workers)
+	return r
+}
+
+// ServiceWorker returns one of the runtime's non-executing worker
+// identities: index 0 is reserved for the application's main goroutine
+// (graph construction and seeding), index 1 for the communication progress
+// thread. Each must be used by at most one goroutine at a time.
+func (r *Runtime) ServiceWorker(i int) *Worker { return r.service[i] }
+
+// Config returns the runtime configuration.
+func (r *Runtime) Config() Config { return r.cfg }
+
+// Workers returns the worker set (for harness inspection; workers' hot
+// fields must not be touched while running).
+func (r *Runtime) Workers() []*Worker { return r.workers }
+
+// SchedulerName reports the active scheduler implementation.
+func (r *Runtime) SchedulerName() string { return r.sched.Name() }
+
+// NewRW builds a reader-writer lock honoring Config.BiasedRWLock, with one
+// reader slot per worker plus the service identities. Frontends use it for
+// their discovery hash tables.
+func (r *Runtime) NewRW() rwlock.RW {
+	return rwlock.New(r.cfg.BiasedRWLock, r.cfg.Workers+len(r.service))
+}
+
+// Start launches the workers. In single-process mode (the default) the
+// runtime completes when the termination detector announces quiescence; in
+// distributed mode the caller claims the detector's quiescence callback via
+// comm and must call SignalDone itself on global termination.
+//
+// Callers must hold a pending action (BeginAction) across Start and their
+// seeding to prevent a premature quiescence announcement.
+func (r *Runtime) Start(distributed bool) {
+	if !r.started.CompareAndSwap(false, true) {
+		panic("rt: Start called twice")
+	}
+	if !distributed {
+		r.Det.SetOnQuiescent(func() { r.SignalDone() })
+	}
+	for _, w := range r.workers {
+		r.wg.Add(1)
+		go func(w *Worker) {
+			defer r.wg.Done()
+			w.run()
+		}(w)
+	}
+}
+
+// BeginAction registers a pending external action (e.g. "the main goroutine
+// is still seeding tasks"), preventing termination.
+func (r *Runtime) BeginAction() {
+	r.Det.Discovered(termdet.ExternalSlot)
+}
+
+// EndAction releases a pending external action.
+func (r *Runtime) EndAction() {
+	r.Det.Completed(termdet.ExternalSlot)
+}
+
+// Inject submits a ready task from outside any worker (main goroutine or a
+// communication handler). The discovery must already be accounted by the
+// caller (Discovered/BeginAction) before Inject to keep termination sound.
+func (r *Runtime) Inject(t *Task) {
+	r.inject.push(t)
+}
+
+// SignalDone marks global termination and releases WaitDone.
+func (r *Runtime) SignalDone() {
+	if r.done.CompareAndSwap(false, true) {
+		close(r.doneCh)
+	}
+}
+
+// Done exposes the termination signal (e.g. for selects).
+func (r *Runtime) Done() <-chan struct{} { return r.doneCh }
+
+// WaitDone blocks until termination is signaled, then joins all workers.
+func (r *Runtime) WaitDone() {
+	<-r.doneCh
+	r.wg.Wait()
+}
+
+// Stats aggregates per-worker statistics. Only safe after WaitDone (the
+// per-worker fields are owner-written plain integers).
+func (r *Runtime) Stats() (exec, steals, parks int64) {
+	for _, w := range r.workers {
+		exec += w.Stats.Executed
+		steals += w.Stats.Steals
+		parks += w.Stats.Parks
+	}
+	return
+}
+
+// Atomics aggregates the per-worker atomic-operation accounting.
+func (r *Runtime) Atomics() AtomicCounts {
+	var a AtomicCounts
+	for _, w := range r.workers {
+		a.add(&w.Atomics)
+	}
+	for _, w := range r.service {
+		a.add(&w.Atomics)
+	}
+	return a
+}

@@ -1,0 +1,118 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// scheduler maps eligible tasks to workers (paper §III-B). Implementations
+// must support concurrent Push from any worker and Pop/Steal by the owning
+// worker.
+type scheduler interface {
+	// Push makes t eligible, submitted by worker wid.
+	Push(wid int, t *Task)
+	// PushChain pushes a priority-sorted chain of n tasks (head..via next)
+	// in one operation (the paper's bundled sorted-list insertion).
+	PushChain(wid int, head *Task, n int)
+	// Pop returns work for worker wid from its local structures, or nil.
+	Pop(wid int) *Task
+	// Steal finds work for starving worker wid anywhere else, or nil.
+	Steal(wid int) *Task
+	// Name identifies the scheduler in output.
+	Name() string
+}
+
+// stealOrder yields the victim scan order for worker wid: a rotated scan of
+// its own steal domain first, then the remaining workers — the paper's
+// "same domain of the cache and NUMA hierarchy" preference. With domains
+// disabled it is a plain rotated scan.
+func stealOrder(w *Worker, n int, buf []int) []int {
+	buf = buf[:0]
+	wid := w.ID
+	start := int(w.nextVictim() % uint64(n))
+	dom := w.rt.cfg.StealDomainSize
+	if dom <= 1 || dom >= n {
+		for i := 0; i < n; i++ {
+			if v := (start + i) % n; v != wid {
+				buf = append(buf, v)
+			}
+		}
+		return buf
+	}
+	lo := wid / dom * dom
+	hi := lo + dom
+	if hi > n {
+		hi = n
+	}
+	// Own domain first (rotated), then the rest (rotated).
+	size := hi - lo
+	for i := 0; i < size; i++ {
+		if v := lo + (wid-lo+1+i)%size; v != wid {
+			buf = append(buf, v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v := (start + i) % n
+		if v == wid || (v >= lo && v < hi) {
+			continue
+		}
+		buf = append(buf, v)
+	}
+	return buf
+}
+
+func newScheduler(kind SchedKind, workers []*Worker) scheduler {
+	switch kind {
+	case SchedLFQ:
+		return newLFQ(workers)
+	case SchedLL:
+		return newLLP(workers, false)
+	default:
+		return newLLP(workers, true)
+	}
+}
+
+// injector is the MPSC side entrance for tasks activated by non-workers
+// (graph seeding from the main goroutine, remote activations delivered by
+// the communication thread). Workers drain it when their local queues miss.
+// A mutex suffices: this path is off the task-to-task fast path by design,
+// exactly like PaRSEC's handoff from the communication thread.
+type injector struct {
+	mu   sync.Mutex
+	head *Task
+	tail *Task
+	size atomic.Int32
+}
+
+func (q *injector) push(t *Task) {
+	q.mu.Lock()
+	t.next = nil
+	if q.tail == nil {
+		q.head, q.tail = t, t
+	} else {
+		q.tail.next = t
+		q.tail = t
+	}
+	q.mu.Unlock()
+	q.size.Add(1)
+}
+
+func (q *injector) pop() *Task {
+	if q.size.Load() == 0 { // cheap miss: polled frequently by idle workers
+		return nil
+	}
+	q.mu.Lock()
+	t := q.head
+	if t != nil {
+		q.head = t.next
+		if q.head == nil {
+			q.tail = nil
+		}
+		t.next = nil
+	}
+	q.mu.Unlock()
+	if t != nil {
+		q.size.Add(-1)
+	}
+	return t
+}

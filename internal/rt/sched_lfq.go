@@ -1,0 +1,167 @@
+package rt
+
+import (
+	"gottg/internal/xsync"
+)
+
+// lfqBufSize is the per-worker bounded-buffer capacity of the LFQ scheduler.
+// PaRSEC sizes these small (a handful of slots); overflow goes to the shared
+// FIFO, which is precisely what makes LFQ collapse under task pressure
+// (paper §V-C: "the vast majority of tasks end up in the overflow FIFO").
+const lfqBufSize = 4
+
+// lfqBuf is a worker's bounded buffer: a tiny array of task slots protected
+// by a spinlock (stealing requires cross-thread access, so even local
+// operations must lock).
+type lfqBuf struct {
+	lock  xsync.SpinLock
+	slots [lfqBufSize]*Task
+	_     [xsync.CacheLineSize - 4 - lfqBufSize*8]byte
+}
+
+// lfq is PaRSEC's local-flat-queues scheduler (§III-B): per-worker bounded
+// buffers holding the highest-priority tasks, plus one globally locked
+// overflow FIFO shared by all workers — the single point of contention the
+// LLP scheduler was designed to remove.
+type lfq struct {
+	bufs []lfqBuf
+	ws   []*Worker
+
+	glock xsync.SpinLock
+	ghead *Task
+	gtail *Task
+}
+
+func newLFQ(workers []*Worker) *lfq {
+	return &lfq{bufs: make([]lfqBuf, len(workers)), ws: workers}
+}
+
+// Push implements scheduler: keep the highest-priority tasks in the local
+// bounded buffer; displace the lowest into the global FIFO.
+func (s *lfq) Push(wid int, t *Task) {
+	w := s.ws[wid]
+	b := &s.bufs[wid]
+	b.lock.Lock()
+	w.countAtomic(&w.Atomics.Sched)
+	// Free slot?
+	for i := range b.slots {
+		if b.slots[i] == nil {
+			b.slots[i] = t
+			b.lock.Unlock()
+			return
+		}
+	}
+	// Full: evict the minimum-priority task if t beats it.
+	min := 0
+	for i := 1; i < lfqBufSize; i++ {
+		if b.slots[i].Priority < b.slots[min].Priority {
+			min = i
+		}
+	}
+	if t.Priority > b.slots[min].Priority {
+		t, b.slots[min] = b.slots[min], t
+	}
+	b.lock.Unlock()
+	s.pushGlobal(w, t)
+}
+
+// PushChain implements scheduler.
+func (s *lfq) PushChain(wid int, head *Task, n int) {
+	for head != nil {
+		next := head.next
+		head.next = nil
+		s.Push(wid, head)
+		head = next
+	}
+}
+
+func (s *lfq) pushGlobal(w *Worker, t *Task) {
+	s.glock.Lock()
+	w.countAtomic(&w.Atomics.Sched)
+	t.next = nil
+	if s.gtail == nil {
+		s.ghead, s.gtail = t, t
+	} else {
+		s.gtail.next = t
+		s.gtail = t
+	}
+	s.glock.Unlock()
+}
+
+func (s *lfq) popGlobal(w *Worker) *Task {
+	s.glock.Lock()
+	w.countAtomic(&w.Atomics.Sched)
+	t := s.ghead
+	if t != nil {
+		s.ghead = t.next
+		if s.ghead == nil {
+			s.gtail = nil
+		}
+		t.next = nil
+	}
+	s.glock.Unlock()
+	return t
+}
+
+// popBuf takes the highest-priority task from buffer b, or nil.
+func (s *lfq) popBuf(w *Worker, b *lfqBuf) *Task {
+	if !b.lock.TryLock() {
+		return nil // busy: caller falls through to other sources
+	}
+	w.countAtomic(&w.Atomics.Sched)
+	best := -1
+	for i := range b.slots {
+		if b.slots[i] != nil && (best < 0 || b.slots[i].Priority > b.slots[best].Priority) {
+			best = i
+		}
+	}
+	var t *Task
+	if best >= 0 {
+		t = b.slots[best]
+		b.slots[best] = nil
+	}
+	b.lock.Unlock()
+	return t
+}
+
+// Pop implements scheduler: local bounded buffer first.
+func (s *lfq) Pop(wid int) *Task {
+	w := s.ws[wid]
+	b := &s.bufs[wid]
+	b.lock.Lock()
+	w.countAtomic(&w.Atomics.Sched)
+	best := -1
+	for i := range b.slots {
+		if b.slots[i] != nil && (best < 0 || b.slots[i].Priority > b.slots[best].Priority) {
+			best = i
+		}
+	}
+	var t *Task
+	if best >= 0 {
+		t = b.slots[best]
+		b.slots[best] = nil
+	}
+	b.lock.Unlock()
+	if t != nil {
+		return t
+	}
+	// Local buffer empty: fall back to the shared FIFO.
+	return s.popGlobal(w)
+}
+
+// Steal implements scheduler: scan other workers' bounded buffers, then the
+// global FIFO once more.
+func (s *lfq) Steal(wid int) *Task {
+	w := s.ws[wid]
+	n := len(s.bufs)
+	for _, v := range stealOrder(w, n, w.victimBuf()) {
+		if t := s.popBuf(w, &s.bufs[v]); t != nil {
+			w.Stats.Steals++
+			return t
+		}
+	}
+	return s.popGlobal(w)
+}
+
+// Name implements scheduler.
+func (s *lfq) Name() string { return "LFQ" }

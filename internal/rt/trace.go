@@ -1,0 +1,119 @@
+package rt
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Named lets frontends label their template-task descriptors for tracing
+// (core.TT and ptg.Class implement it).
+type Named interface{ Name() string }
+
+// TraceEvent is one executed task instance.
+type TraceEvent struct {
+	// Name is the frontend descriptor's name ("?" if unlabeled).
+	Name string
+	// Key is the task key.
+	Key uint64
+	// Worker executed the task.
+	Worker int
+	// Start is the task start time.
+	Start time.Time
+	// Dur is the execution duration.
+	Dur time.Duration
+	// Inlined marks tasks run at their discovery site.
+	Inlined bool
+}
+
+// tracer collects per-worker event logs without synchronization; each
+// worker appends only to its own slice.
+type tracer struct {
+	perWorker [][]TraceEvent
+	epoch     time.Time
+}
+
+func newTracer(workers int) *tracer {
+	return &tracer{perWorker: make([][]TraceEvent, workers), epoch: time.Now()}
+}
+
+// EnableTracing switches on per-task tracing. Must be called before Start;
+// adds two clock reads per task.
+func (r *Runtime) EnableTracing() {
+	if r.started.Load() {
+		panic("rt: EnableTracing after Start")
+	}
+	r.trace = newTracer(r.cfg.Workers)
+}
+
+// recordNamed appends a trace event to the worker's private log. The task
+// object itself may already be recycled when this runs; callers capture the
+// TT descriptor and key before execution.
+func (w *Worker) recordNamed(tt any, key uint64, start time.Time, inlined bool) {
+	tr := w.rt.trace
+	name := "?"
+	if n, ok := tt.(Named); ok {
+		name = n.Name()
+	}
+	tr.perWorker[w.ID] = append(tr.perWorker[w.ID], TraceEvent{
+		Name:    name,
+		Key:     key,
+		Worker:  w.ID,
+		Start:   start,
+		Dur:     time.Since(start),
+		Inlined: inlined,
+	})
+}
+
+// Trace returns all recorded events (only safe after WaitDone).
+func (r *Runtime) Trace() []TraceEvent {
+	if r.trace == nil {
+		return nil
+	}
+	var out []TraceEvent
+	for _, evs := range r.trace.perWorker {
+		out = append(out, evs...)
+	}
+	return out
+}
+
+// chromeEvent is the Chrome trace-viewer "complete event" record.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]uint64 `json:"args,omitempty"`
+}
+
+// WriteChromeTrace dumps the recorded events in Chrome trace-viewer JSON
+// (load via chrome://tracing or Perfetto). Only safe after WaitDone.
+func (r *Runtime) WriteChromeTrace(w io.Writer) error {
+	if r.trace == nil {
+		return nil
+	}
+	var evs []chromeEvent
+	for wid, list := range r.trace.perWorker {
+		for _, e := range list {
+			cat := "task"
+			if e.Inlined {
+				cat = "task,inlined"
+			}
+			evs = append(evs, chromeEvent{
+				Name: e.Name,
+				Cat:  cat,
+				Ph:   "X",
+				Ts:   float64(e.Start.Sub(r.trace.epoch).Nanoseconds()) / 1e3,
+				Dur:  float64(e.Dur.Nanoseconds()) / 1e3,
+				Pid:  0,
+				Tid:  wid,
+				Args: map[string]uint64{"key": e.Key},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": evs})
+}

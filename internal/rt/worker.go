@@ -1,0 +1,321 @@
+package rt
+
+import (
+	"runtime"
+	"time"
+)
+
+// AtomicCounts tallies atomic read-modify-write operations issued on behalf
+// of tasks, by category, for validating the paper's Eq. 1 model. Counters
+// are per-worker plain integers (owner-only) and only maintained when
+// Config.CountAtomics is set.
+type AtomicCounts struct {
+	Pool    uint64 // task/copy free-list CAS traffic (N_OP)
+	Input   uint64 // dependence-counter decrements (N_IP)
+	CopyRef uint64 // copy retain/release (N_IC)
+	Bucket  uint64 // hash-table bucket locks (N_ID)
+	RWLock  uint64 // hash-table reader-lock RMWs (0 under BRAVO)
+	Sched   uint64 // scheduler push/pop (N_S)
+	TermDet uint64 // termination-detection counter RMWs
+	Alloc   uint64 // heap allocations attributed to the allocator's sync
+}
+
+// Total sums all categories.
+func (a *AtomicCounts) Total() uint64 {
+	return a.Pool + a.Input + a.CopyRef + a.Bucket + a.RWLock + a.Sched + a.TermDet + a.Alloc
+}
+
+// add accumulates other into a.
+func (a *AtomicCounts) add(o *AtomicCounts) {
+	a.Pool += o.Pool
+	a.Input += o.Input
+	a.CopyRef += o.CopyRef
+	a.Bucket += o.Bucket
+	a.RWLock += o.RWLock
+	a.Sched += o.Sched
+	a.TermDet += o.TermDet
+	a.Alloc += o.Alloc
+}
+
+// WorkerStats are per-worker execution statistics.
+type WorkerStats struct {
+	Executed int64 // tasks executed from the scheduler (excludes inlined)
+	Steals   int64 // successful steals
+	Parks    int64 // times the worker slept after spinning
+	Inlined  int64 // tasks executed inline at the discovery site
+}
+
+// Worker is one runtime execution thread. Worker methods must only be
+// called from the worker's own goroutine unless documented otherwise.
+//
+// Runtimes also carry service workers (negative ID): non-executing worker
+// identities used by the main goroutine (graph seeding) and the
+// communication progress thread, so those contexts get pools, accounting,
+// and a BRAVO lock slot without participating in scheduling.
+type Worker struct {
+	ID int
+	rt *Runtime
+
+	// detSlot is the termination-detector cell index (ExternalSlot for
+	// service workers); htSlot is the BRAVO reader-slot index.
+	detSlot int
+	htSlot  int
+
+	TaskPool Pool
+	copies   copyPool
+
+	Atomics AtomicCounts
+	Stats   WorkerStats
+
+	rngState    uint64
+	count       bool // cached Config.CountAtomics
+	inlineDepth int
+	victims     []int // scratch for steal-order scans
+
+	// deferred accumulates ready tasks during one execution when
+	// Config.BundleReady is set; flushed as a sorted chain at task end.
+	deferred     *Task
+	deferredTail *Task
+	nDeferred    int
+
+	_ [32]byte // separate workers' hot fields
+}
+
+// HTSlot returns the worker's reader-lock slot for hash-table access.
+func (w *Worker) HTSlot() int { return w.htSlot }
+
+// IsService reports whether this is a non-executing service identity.
+func (w *Worker) IsService() bool { return w.ID < 0 }
+
+// countAtomic bumps an accounting category when instrumentation is on.
+func (w *Worker) countAtomic(c *uint64) {
+	if w.count {
+		*c++
+	}
+}
+
+// CountBucketLock accounts one hash-table bucket-lock acquisition (N_ID of
+// Eq. 1) plus the two reader-lock RMWs that the plain reader-writer lock
+// costs when the BRAVO bias is disabled (§IV-D).
+func (w *Worker) CountBucketLock() {
+	if w.count {
+		w.Atomics.Bucket++
+		if !w.rt.cfg.BiasedRWLock {
+			w.Atomics.RWLock += 2
+		}
+	}
+}
+
+// victimBuf returns the worker-private scratch slice for steal scans.
+func (w *Worker) victimBuf() []int {
+	if w.victims == nil {
+		w.victims = make([]int, 0, w.rt.cfg.Workers)
+	}
+	return w.victims
+}
+
+// nextVictim returns a pseudo-random starting index for steal scans.
+func (w *Worker) nextVictim() uint64 {
+	x := w.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rngState = x
+	return x
+}
+
+// Runtime returns the owning runtime.
+func (w *Worker) Runtime() *Runtime { return w.rt }
+
+// NewTask obtains a task object (recycled when pools are enabled).
+func (w *Worker) NewTask() *Task {
+	if w.rt.cfg.UsePools {
+		return w.TaskPool.Get(w)
+	}
+	w.countAtomic(&w.Atomics.Alloc)
+	return &Task{}
+}
+
+// FreeTask recycles a task to its owning pool (or drops it for the GC).
+func (w *Worker) FreeTask(t *Task) {
+	if t.pool != nil {
+		t.pool.Put(w, t)
+	}
+}
+
+// NewCopy wraps a value in a reference-counted copy with refcount 1.
+func (w *Worker) NewCopy(v any) *Copy {
+	var c *Copy
+	if w.rt.cfg.UsePools {
+		c = w.copies.get(w)
+	} else {
+		w.countAtomic(&w.Atomics.Alloc)
+		c = &Copy{}
+	}
+	c.Val = v
+	c.refs.Store(1)
+	return c
+}
+
+// Schedule makes t eligible for execution, preferring this worker's local
+// queue. Service workers (which own no queue) route through the runtime's
+// injection queue instead.
+func (w *Worker) Schedule(t *Task) {
+	if w.ID < 0 {
+		w.rt.Inject(t)
+		return
+	}
+	w.rt.sched.Push(w.ID, t)
+}
+
+// ScheduleChain pushes a pre-sorted chain of n ready tasks at once.
+func (w *Worker) ScheduleChain(head *Task, n int) {
+	if w.ID < 0 {
+		for head != nil {
+			next := head.next
+			head.next = nil
+			w.rt.Inject(head)
+			head = next
+		}
+		return
+	}
+	w.rt.sched.PushChain(w.ID, head, n)
+}
+
+// Discovered/Completed forward to the termination detector with this
+// worker's slot, tracking the instrumentation category.
+func (w *Worker) Discovered() {
+	if !w.rt.cfg.ThreadLocalTermDet || w.detSlot < 0 {
+		w.countAtomic(&w.Atomics.TermDet)
+	}
+	w.rt.Det.Discovered(w.detSlot)
+}
+
+// Completed records a task completion for termination detection.
+func (w *Worker) Completed() {
+	if !w.rt.cfg.ThreadLocalTermDet || w.detSlot < 0 {
+		w.countAtomic(&w.Atomics.TermDet)
+	}
+	w.rt.Det.Completed(w.detSlot)
+}
+
+// parkSleep is the idle-poll interval once spinning gives up.
+const parkSleep = 50 * time.Microsecond
+
+// run is the worker main loop.
+func (w *Worker) run() {
+	rt := w.rt
+	if rt.cfg.PinWorkers {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	for {
+		t := w.findTask()
+		if t != nil {
+			w.execute(t)
+			continue
+		}
+		if rt.done.Load() {
+			return
+		}
+		// Local miss: go idle (flushes thread-local termination counters,
+		// possibly announcing quiescence) and poll until work or shutdown.
+		rt.Det.EnterIdle(w.ID)
+		spins := 0
+		for {
+			if rt.done.Load() {
+				rt.Det.LeaveIdle(w.ID)
+				return
+			}
+			if t = w.findTask(); t != nil {
+				rt.Det.LeaveIdle(w.ID)
+				break
+			}
+			spins++
+			if spins < rt.cfg.SpinBeforePark {
+				if spins%64 == 0 {
+					runtime.Gosched()
+				}
+			} else {
+				w.Stats.Parks++
+				time.Sleep(parkSleep)
+			}
+		}
+		w.execute(t)
+	}
+}
+
+// execute runs one task, recording a trace event when tracing is enabled.
+func (w *Worker) execute(t *Task) {
+	if w.rt.trace != nil {
+		start := time.Now()
+		tt, key := t.TT, t.Key() // t is recycled inside Exec; capture first
+		t.Exec(w, t)
+		w.recordNamed(tt, key, start, false)
+	} else {
+		t.Exec(w, t)
+	}
+	w.Stats.Executed++
+}
+
+// Bundling reports whether ready-task bundling is active for this worker
+// (service workers always schedule directly).
+func (w *Worker) Bundling() bool {
+	return w.rt.cfg.BundleReady && w.ID >= 0
+}
+
+// Defer queues a ready task for batch insertion at the end of the current
+// task's execution (Config.BundleReady). The task must already be accounted
+// as discovered.
+func (w *Worker) Defer(t *Task) {
+	t.next = nil
+	if w.deferredTail == nil {
+		w.deferred, w.deferredTail = t, t
+	} else {
+		w.deferredTail.next = t
+		w.deferredTail = t
+	}
+	w.nDeferred++
+}
+
+// FlushDeferred inserts all deferred ready tasks as one sorted chain.
+func (w *Worker) FlushDeferred() {
+	if w.deferred == nil {
+		return
+	}
+	head, n := w.deferred, w.nDeferred
+	w.deferred, w.deferredTail, w.nDeferred = nil, nil, 0
+	w.ScheduleChain(SortChain(head), n)
+}
+
+// TryInline executes an eligible task immediately on this worker if task
+// inlining is enabled and the nesting budget allows, reporting whether it
+// ran. Service workers never inline (they must not execute task bodies).
+func (w *Worker) TryInline(t *Task) bool {
+	if !w.rt.cfg.InlineTasks || w.ID < 0 || w.inlineDepth >= w.rt.cfg.MaxInlineDepth {
+		return false
+	}
+	w.inlineDepth++
+	if w.rt.trace != nil {
+		start := time.Now()
+		tt, key := t.TT, t.Key()
+		t.Exec(w, t)
+		w.recordNamed(tt, key, start, true)
+	} else {
+		t.Exec(w, t)
+	}
+	w.Stats.Inlined++
+	w.inlineDepth--
+	return true
+}
+
+// findTask sources work: local queue, injected tasks, then stealing.
+func (w *Worker) findTask() *Task {
+	if t := w.rt.sched.Pop(w.ID); t != nil {
+		return t
+	}
+	if t := w.rt.inject.pop(); t != nil {
+		return t
+	}
+	return w.rt.sched.Steal(w.ID)
+}

@@ -1,0 +1,215 @@
+package rwlock
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// exercise hammers a lock with concurrent readers and writers and checks the
+// reader/writer exclusion invariants:
+//   - a writer never observes another writer or any reader active,
+//   - a reader never observes a writer active.
+func exercise(t *testing.T, mk func(threads int) RW) {
+	t.Helper()
+	const threads = 8
+	l := mk(threads)
+	var readers atomic.Int32
+	var writers atomic.Int32
+	var wg sync.WaitGroup
+	fail := make(chan string, 1)
+	report := func(msg string) {
+		select {
+		case fail <- msg:
+		default:
+		}
+	}
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				if i%100 == 99 { // occasional writer, mimicking rare resizes
+					l.Lock()
+					if writers.Add(1) != 1 {
+						report("two writers inside critical section")
+					}
+					if readers.Load() != 0 {
+						report("reader active during write lock")
+					}
+					writers.Add(-1)
+					l.Unlock()
+				} else {
+					l.RLock(slot)
+					readers.Add(1)
+					if writers.Load() != 0 {
+						report("writer active during read lock")
+					}
+					readers.Add(-1)
+					l.RUnlock(slot)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+func TestAtomicRWExclusion(t *testing.T) {
+	exercise(t, func(threads int) RW { return NewAtomicRW() })
+}
+
+func TestBRAVOExclusion(t *testing.T) {
+	exercise(t, func(threads int) RW { return NewBRAVO(threads, nil) })
+}
+
+func TestBRAVOFastPathRoundTrip(t *testing.T) {
+	l := NewBRAVO(2, nil)
+	l.RLock(0)
+	if l.slots[0].V.Load() != 1 {
+		t.Fatal("fast-path read lock did not set the slot flag")
+	}
+	l.RUnlock(0)
+	if l.slots[0].V.Load() != 0 {
+		t.Fatal("read unlock did not clear the slot flag")
+	}
+}
+
+func TestBRAVOWriterDisablesBias(t *testing.T) {
+	l := NewBRAVO(2, nil)
+	l.Lock()
+	if l.rbias.V.Load() != 0 {
+		t.Fatal("write lock left reader bias enabled")
+	}
+	// Reader during writer must fall back to the underlying lock (and block),
+	// so run it in a goroutine and release the writer.
+	entered := make(chan struct{})
+	go func() {
+		l.RLock(1)
+		close(entered)
+		l.RUnlock(1)
+	}()
+	select {
+	case <-entered:
+		t.Fatal("reader acquired lock while writer held it")
+	default:
+	}
+	l.Unlock()
+	<-entered
+	if l.rbias.V.Load() != 1 {
+		t.Fatal("write unlock did not restore reader bias")
+	}
+}
+
+func TestBRAVOWriterWaitsForFastReaders(t *testing.T) {
+	l := NewBRAVO(2, nil)
+	l.RLock(0) // fast path
+	acquired := make(chan struct{})
+	go func() {
+		l.Lock()
+		close(acquired)
+		l.Unlock()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("writer acquired lock while fast-path reader active")
+	default:
+	}
+	l.RUnlock(0)
+	<-acquired
+}
+
+func TestNewSelectsImplementation(t *testing.T) {
+	if _, ok := New(true, 4).(*BRAVO); !ok {
+		t.Fatal("New(true) did not return BRAVO")
+	}
+	if _, ok := New(false, 4).(*AtomicRW); !ok {
+		t.Fatal("New(false) did not return AtomicRW")
+	}
+	if New(true, 0) == nil {
+		t.Fatal("New with zero threads returned nil")
+	}
+}
+
+// Property: any interleaving of read/write acquisitions over a shared counter
+// (writers increment, readers only observe) conserves the number of writer
+// increments.
+func TestRWQuickConservation(t *testing.T) {
+	f := func(plan []bool) bool {
+		for _, mk := range []func() RW{
+			func() RW { return NewAtomicRW() },
+			func() RW { return NewBRAVO(8, nil) },
+		} {
+			l := mk()
+			var val int64
+			var want int64
+			for _, isWrite := range plan {
+				if isWrite {
+					want++
+				}
+			}
+			// BRAVO requires each slot to be owned by exactly one thread at a
+			// time, so shard the op list across 8 workers, one slot each.
+			var wg sync.WaitGroup
+			for slot := 0; slot < 8; slot++ {
+				wg.Add(1)
+				go func(slot int) {
+					defer wg.Done()
+					for i := slot; i < len(plan); i += 8 {
+						if plan[i] {
+							l.Lock()
+							val++
+							l.Unlock()
+						} else {
+							l.RLock(slot)
+							_ = val
+							l.RUnlock(slot)
+						}
+					}
+				}(slot)
+			}
+			wg.Wait()
+			if val != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAblationRWLockAtomic(b *testing.B) {
+	l := NewAtomicRW()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.RLock(0)
+			l.RUnlock(0)
+		}
+	})
+}
+
+func BenchmarkAblationRWLockBRAVO(b *testing.B) {
+	// Size the slot table to the actual parallelism so each RunParallel
+	// goroutine owns a distinct slot (BRAVO's contract).
+	n := runtime.GOMAXPROCS(0) * 4
+	l := NewBRAVO(n, nil)
+	var slotSrc atomic.Int32
+	b.RunParallel(func(pb *testing.PB) {
+		slot := int(slotSrc.Add(1) - 1)
+		if slot >= n {
+			b.Fatalf("more parallel goroutines (%d) than BRAVO slots (%d)", slot+1, n)
+		}
+		for pb.Next() {
+			l.RLock(slot)
+			l.RUnlock(slot)
+		}
+	})
+}

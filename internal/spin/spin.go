@@ -1,0 +1,89 @@
+// Package spin provides a calibrated busy-work loop standing in for the
+// paper's rdtsc-based task bodies: benchmarks parameterize task duration in
+// "cycles" and the loop burns approximately that many CPU cycles without
+// touching shared memory.
+package spin
+
+import (
+	"sync"
+	"time"
+)
+
+// clockGHz is the nominal CPU frequency used to convert cycles to time.
+// 2.7 GHz matches both this environment's Xeon and, approximately, the AMD
+// EPYC Rome nodes (2.25–3.4 GHz) of the paper's Hawk system.
+var clockGHz = 2.7
+
+// itersPerNs is how many Work loop iterations run per nanosecond, measured
+// once on first use.
+var (
+	itersPerNs   float64
+	calibrateOne sync.Once
+)
+
+// Work runs n iterations of a xorshift loop and returns the final state so
+// the compiler cannot eliminate it. Each iteration is a handful of
+// dependent ALU ops; no memory traffic.
+//
+//go:noinline
+func Work(n int) uint64 {
+	x := uint64(88172645463325252)
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+// Calibrate measures the Work loop rate. Called automatically on first use;
+// exposed so harnesses can pay the cost up front.
+func Calibrate() {
+	calibrateOne.Do(func() {
+		const probe = 1 << 21
+		// Warm up, then take the best of three to reduce scheduler noise.
+		Work(probe)
+		best := time.Duration(1 << 62)
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			Work(probe)
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		itersPerNs = float64(probe) / float64(best.Nanoseconds())
+		if itersPerNs <= 0 {
+			itersPerNs = 1
+		}
+	})
+}
+
+// ItersForCycles converts a cycle budget to loop iterations.
+func ItersForCycles(cycles int) int {
+	Calibrate()
+	ns := float64(cycles) / clockGHz
+	return int(ns * itersPerNs)
+}
+
+// Cycles burns approximately the requested number of CPU cycles.
+func Cycles(c int) uint64 {
+	if c <= 0 {
+		return 0
+	}
+	return Work(ItersForCycles(c))
+}
+
+// CyclesToDuration converts a cycle count to wall time at the nominal clock.
+func CyclesToDuration(c int) time.Duration {
+	return time.Duration(float64(c) / clockGHz)
+}
+
+// SetClockGHz overrides the nominal CPU frequency (for harness flags).
+func SetClockGHz(ghz float64) {
+	if ghz > 0 {
+		clockGHz = ghz
+	}
+}
+
+// ClockGHz returns the nominal CPU frequency.
+func ClockGHz() float64 { return clockGHz }

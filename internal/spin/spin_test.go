@@ -1,0 +1,67 @@
+package spin
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWorkDeterministic(t *testing.T) {
+	if Work(100) != Work(100) {
+		t.Fatal("Work is not deterministic")
+	}
+	if Work(100) == Work(101) {
+		t.Fatal("Work result does not depend on iteration count")
+	}
+	if Work(0) != 88172645463325252 {
+		t.Fatal("Work(0) must return the seed")
+	}
+}
+
+func TestItersForCyclesMonotonic(t *testing.T) {
+	a := ItersForCycles(1000)
+	b := ItersForCycles(10000)
+	if a <= 0 || b <= 0 {
+		t.Fatalf("non-positive iteration counts: %d %d", a, b)
+	}
+	if b <= a {
+		t.Fatalf("iterations not monotonic in cycles: %d !< %d", a, b)
+	}
+}
+
+func TestCyclesRoughAccuracy(t *testing.T) {
+	// Burning 10M cycles at 2.7GHz should take ~3.7ms; allow a generous
+	// factor for noisy CI machines.
+	const cycles = 10_000_000
+	want := CyclesToDuration(cycles)
+	t0 := time.Now()
+	Cycles(cycles)
+	got := time.Since(t0)
+	if got < want/8 || got > want*8 {
+		t.Fatalf("Cycles(%d) took %v, want about %v", cycles, got, want)
+	}
+}
+
+func TestCyclesZeroAndNegative(t *testing.T) {
+	if Cycles(0) != 0 {
+		t.Fatal("Cycles(0) should do nothing")
+	}
+	if Cycles(-5) != 0 {
+		t.Fatal("Cycles(<0) should do nothing")
+	}
+}
+
+func TestSetClockGHz(t *testing.T) {
+	old := ClockGHz()
+	defer SetClockGHz(old)
+	SetClockGHz(1.0)
+	if ClockGHz() != 1.0 {
+		t.Fatal("SetClockGHz did not stick")
+	}
+	SetClockGHz(-1) // ignored
+	if ClockGHz() != 1.0 {
+		t.Fatal("negative clock accepted")
+	}
+	if CyclesToDuration(1000) != time.Duration(1000) {
+		t.Fatalf("1000 cycles at 1GHz should be 1000ns, got %v", CyclesToDuration(1000))
+	}
+}

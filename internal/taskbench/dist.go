@@ -1,0 +1,112 @@
+package taskbench
+
+import (
+	"sync"
+	"time"
+
+	"gottg/internal/comm"
+	"gottg/internal/core"
+	"gottg/internal/rt"
+)
+
+func init() {
+	core.RegisterPayload(&pointVal{})
+}
+
+// RunDistributedTTG executes the Task-Bench spec over `ranks` simulated
+// processes with `workersPerRank` workers each, block-partitioning the
+// points. This is the paper's seamless shared→distributed claim applied to
+// the §V-D benchmark: the TTG program is the shared-memory one plus a
+// process mapper; halo values cross rank boundaries as serialized
+// activations.
+//
+// Returns the global checksum (bit-identical to Spec.Reference) and the
+// wall-clock time.
+func RunDistributedTTG(s Spec, ranks, workersPerRank int) Result {
+	if ranks > s.Width {
+		ranks = s.Width
+	}
+	world := comm.NewWorld(ranks)
+	mapper := func(key uint64) int {
+		_, p := core.Unpack2(key)
+		return int(p) * ranks / s.Width
+	}
+
+	// Per-rank partial sums of the last timestep, keyed by point so the
+	// final reduction is order-deterministic.
+	lastVals := make([]float64, s.Width)
+	var lastMu sync.Mutex
+
+	build := func(g *core.Graph) *core.TT {
+		ePoint := core.NewEdge("point")
+		point := g.NewTT("Point", 1, 1, func(tc core.TaskContext) {
+			t, p := core.Unpack2(tc.Key())
+			agg := tc.Aggregate(0)
+			vals := make([]pointVal, 0, 8)
+			for i := 0; i < agg.Len(); i++ {
+				vals = append(vals, *agg.Value(i).(*pointVal))
+			}
+			for i := 1; i < len(vals); i++ { // insertion sort by origin
+				for j := i; j > 0 && vals[j-1].P > vals[j].P; j-- {
+					vals[j-1], vals[j] = vals[j], vals[j-1]
+				}
+			}
+			depVals := make([]float64, len(vals))
+			for i, v := range vals {
+				depVals[i] = v.V
+			}
+			if int(t) == 0 {
+				depVals = nil
+			}
+			v := s.Value(int(t), int(p), depVals)
+			if int(t) == s.Steps-1 {
+				lastMu.Lock()
+				lastVals[p] = v
+				lastMu.Unlock()
+				return
+			}
+			for _, q := range s.RDeps(int(t), int(p)) {
+				tc.Send(0, core.Pack2(t+1, uint32(q)), &pointVal{P: int(p), V: v})
+			}
+		}).WithAggregator(0, func(key uint64) int {
+			t, p := core.Unpack2(key)
+			if t == 0 {
+				return 1
+			}
+			return len(s.Deps(int(t), int(p)))
+		}).WithMapper(mapper)
+		point.Out(0, ePoint)
+		ePoint.To(point, 0)
+		return point
+	}
+
+	graphs := make([]*core.Graph, ranks)
+	points := make([]*core.TT, ranks)
+	for r := 0; r < ranks; r++ {
+		cfg := rt.OptimizedConfig(workersPerRank)
+		cfg.PinWorkers = false
+		graphs[r] = core.NewDistributed(cfg, world.Proc(r))
+		points[r] = build(graphs[r])
+	}
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			graphs[r].MakeExecutable()
+			for p := 0; p < s.Width; p++ { // SPMD seeding; owners keep
+				graphs[r].Invoke(points[r], core.Pack2(0, uint32(p)), &pointVal{P: p})
+			}
+			graphs[r].Wait()
+		}(r)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	world.Shutdown()
+	checksum := 0.0
+	for p := 0; p < s.Width; p++ {
+		checksum += lastVals[p]
+	}
+	return Result{Elapsed: elapsed, Checksum: checksum, Tasks: s.TotalTasks()}
+}

@@ -1,0 +1,46 @@
+package taskbench
+
+import "testing"
+
+// FuzzDepsInverse checks the Deps/RDeps inversion property on arbitrary
+// (pattern, width, step, point) tuples.
+func FuzzDepsInverse(f *testing.F) {
+	f.Add(uint8(2), uint8(16), uint8(3), uint8(5))
+	f.Add(uint8(4), uint8(7), uint8(1), uint8(0))
+	f.Add(uint8(3), uint8(32), uint8(9), uint8(31))
+	f.Fuzz(func(t *testing.T, pat, width, step, point uint8) {
+		s := Spec{
+			Pattern: Pattern(pat % 5),
+			Width:   int(width%63) + 1,
+			Steps:   20,
+		}
+		ts := int(step)%(s.Steps-1) + 1
+		p := int(point) % s.Width
+		// Every dependency must be mirrored by an RDep and vice versa.
+		for _, q := range s.Deps(ts, p) {
+			if q < 0 || q >= s.Width {
+				t.Fatalf("dep %d out of range", q)
+			}
+			found := false
+			for _, r := range s.RDeps(ts-1, q) {
+				if r == p {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%v: (%d,%d) <- %d not mirrored in RDeps", s.Pattern, ts, p, q)
+			}
+		}
+		for _, r := range s.RDeps(ts-1, p) {
+			found := false
+			for _, q := range s.Deps(ts, r) {
+				if q == p {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%v: RDep (%d,%d) -> %d not mirrored in Deps", s.Pattern, ts-1, p, r)
+			}
+		}
+	})
+}

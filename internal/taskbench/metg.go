@@ -1,0 +1,79 @@
+package taskbench
+
+import "time"
+
+// CurvePoint is one (flops-per-task → performance) sample of an efficiency
+// sweep.
+type CurvePoint struct {
+	Flops       int
+	Elapsed     time.Duration
+	CoreTimeSec float64 // threads·elapsed / tasks: avg core time per task
+	FlopsRate   float64 // total flops / (threads·elapsed): per-core rate
+	Efficiency  float64 // FlopsRate / peak FlopsRate of the sweep
+}
+
+// Sweep runs the runner across a list of flops-per-task values (largest
+// first, like the paper) and computes per-core time, rate and efficiency.
+// Efficiency is relative to the peak per-core flops rate observed in this
+// sweep; Fig. 8b instead normalizes to the best single-core rate — the
+// harness handles that by passing peakOverride.
+func Sweep(r Runner, base Spec, threads int, flopsList []int, peakOverride float64) []CurvePoint {
+	pts := make([]CurvePoint, 0, len(flopsList))
+	for _, f := range flopsList {
+		s := base
+		s.Flops = f
+		res := r.Run(s, threads)
+		sec := res.Elapsed.Seconds()
+		if sec <= 0 {
+			sec = 1e-9
+		}
+		total := float64(f) * float64(s.TotalTasks())
+		pts = append(pts, CurvePoint{
+			Flops:       f,
+			Elapsed:     res.Elapsed,
+			CoreTimeSec: sec * float64(threads) / float64(s.TotalTasks()),
+			FlopsRate:   total / (sec * float64(threads)),
+		})
+	}
+	peak := peakOverride
+	if peak <= 0 {
+		for _, p := range pts {
+			if p.FlopsRate > peak {
+				peak = p.FlopsRate
+			}
+		}
+	}
+	for i := range pts {
+		if peak > 0 {
+			pts[i].Efficiency = pts[i].FlopsRate / peak
+		}
+	}
+	return pts
+}
+
+// METG returns the Minimum Effective Task Granularity at the given
+// efficiency fraction (paper/Task-Bench METG(50%)): the smallest
+// flops-per-task whose efficiency is at least frac. Returns -1 if no point
+// qualifies.
+func METG(pts []CurvePoint, frac float64) int {
+	best := -1
+	for _, p := range pts {
+		if p.Efficiency >= frac {
+			if best < 0 || p.Flops < best {
+				best = p.Flops
+			}
+		}
+	}
+	return best
+}
+
+// PeakRate returns the maximum per-core flops rate in the sweep.
+func PeakRate(pts []CurvePoint) float64 {
+	peak := 0.0
+	for _, p := range pts {
+		if p.FlopsRate > peak {
+			peak = p.FlopsRate
+		}
+	}
+	return peak
+}

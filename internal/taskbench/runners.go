@@ -1,0 +1,599 @@
+package taskbench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gottg/internal/core"
+	"gottg/internal/dtd"
+	"gottg/internal/legionlike"
+	"gottg/internal/mpilike"
+	"gottg/internal/omptask"
+	"gottg/internal/ptg"
+	"gottg/internal/rt"
+	"gottg/internal/taskflow"
+	"gottg/internal/workshare"
+)
+
+// Result is one benchmark execution's outcome.
+type Result struct {
+	Elapsed  time.Duration
+	Checksum float64
+	Tasks    int
+}
+
+// PerTask returns the average wall time per task (the paper's "average core
+// time per task" divided by thread count happens in the harness).
+func (r Result) PerTask() time.Duration {
+	if r.Tasks == 0 {
+		return 0
+	}
+	return r.Elapsed / time.Duration(r.Tasks)
+}
+
+// Runner executes a Spec on a given number of threads.
+type Runner interface {
+	Name() string
+	// Supports reports whether the runner implements the pattern.
+	Supports(p Pattern) bool
+	Run(s Spec, threads int) Result
+}
+
+// pointVal is the datum flowing between TTG point tasks: the producer point
+// and its value, so consumers can order inputs by origin (§V-D1).
+type pointVal struct {
+	P int
+	V float64
+}
+
+// TTGRunner implements Task-Bench over TTG with aggregator terminals
+// (paper Fig. 2 / Listing 1): Init feeds the first timestep, Point tasks
+// aggregate a per-key number of inputs, order them by origin, execute the
+// kernel, and broadcast to their successors; Write-Back aggregates the last
+// timestep into the checksum.
+type TTGRunner struct {
+	Label string
+	Cfg   func(threads int) rt.Config
+}
+
+// Name implements Runner.
+func (r TTGRunner) Name() string { return r.Label }
+
+// Supports implements Runner.
+func (r TTGRunner) Supports(Pattern) bool { return true }
+
+// Run implements Runner.
+func (r TTGRunner) Run(s Spec, threads int) Result {
+	g := core.New(r.Cfg(threads))
+	ePoint := core.NewEdge("point")
+	eBack := core.NewEdge("writeback")
+
+	var checksum float64
+	point := g.NewTT("Point", 1, 2, func(tc core.TaskContext) {
+		t, p := core.Unpack2(tc.Key())
+		agg := tc.Aggregate(0)
+		vals := make([]pointVal, 0, 8)
+		for i := 0; i < agg.Len(); i++ {
+			vals = append(vals, *agg.Value(i).(*pointVal))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].P < vals[j].P })
+		depVals := make([]float64, len(vals))
+		for i, v := range vals {
+			depVals[i] = v.V
+		}
+		if int(t) == 0 {
+			depVals = nil // seed datum carries no value
+		}
+		v := s.Value(int(t), int(p), depVals)
+		if int(t) == s.Steps-1 {
+			tc.Send(1, 0, &pointVal{P: int(p), V: v})
+			return
+		}
+		for _, q := range s.RDeps(int(t), int(p)) {
+			tc.Send(0, core.Pack2(t+1, uint32(q)), &pointVal{P: int(p), V: v})
+		}
+	}).WithAggregator(0, func(key uint64) int {
+		t, p := core.Unpack2(key)
+		if t == 0 {
+			return 1
+		}
+		return len(s.Deps(int(t), int(p)))
+	})
+
+	back := g.NewTT("WriteBack", 1, 0, func(tc core.TaskContext) {
+		agg := tc.Aggregate(0)
+		vals := make([]pointVal, 0, s.Width)
+		for i := 0; i < agg.Len(); i++ {
+			vals = append(vals, *agg.Value(i).(*pointVal))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].P < vals[j].P })
+		for _, v := range vals {
+			checksum += v.V
+		}
+	}).WithAggregator(0, func(uint64) int { return s.Width })
+
+	point.Out(0, ePoint).Out(1, eBack)
+	ePoint.To(point, 0)
+	eBack.To(back, 0)
+	g.MakeExecutable()
+	t0 := time.Now()
+	for p := 0; p < s.Width; p++ {
+		g.Invoke(point, core.Pack2(0, uint32(p)), &pointVal{P: p})
+	}
+	g.Wait()
+	return Result{Elapsed: time.Since(t0), Checksum: checksum, Tasks: s.TotalTasks()}
+}
+
+// PTGRunner implements Task-Bench over the PTG frontend: activation counts
+// are known algebraically and data moves through a shared (Steps×Width)
+// grid, so no aggregators or copies are needed.
+type PTGRunner struct {
+	Label string
+	Cfg   func(threads int) rt.Config
+}
+
+// Name implements Runner.
+func (r PTGRunner) Name() string { return r.Label }
+
+// Supports implements Runner.
+func (r PTGRunner) Supports(Pattern) bool { return true }
+
+// Run implements Runner.
+func (r PTGRunner) Run(s Spec, threads int) Result {
+	g := ptg.New(r.Cfg(threads))
+	grid := make([]float64, s.Steps*s.Width)
+	var mu sync.Mutex
+	checksum := 0.0
+	done := 0
+	var point *ptg.Class
+	point = g.NewClass("point", func(key uint64) int {
+		t, p := core.Unpack2(key)
+		if t == 0 {
+			return 1
+		}
+		return len(s.Deps(int(t), int(p)))
+	}, func(c ptg.Ctx, key uint64) {
+		t, p := core.Unpack2(key)
+		var depVals []float64
+		if t > 0 {
+			deps := s.Deps(int(t), int(p))
+			depVals = make([]float64, len(deps))
+			for i, q := range deps {
+				depVals[i] = grid[(int(t)-1)*s.Width+q]
+			}
+		}
+		v := s.Value(int(t), int(p), depVals)
+		grid[int(t)*s.Width+int(p)] = v
+		if int(t) == s.Steps-1 {
+			mu.Lock()
+			done++
+			mu.Unlock()
+			return
+		}
+		for _, q := range s.RDeps(int(t), int(p)) {
+			c.Activate(point, core.Pack2(t+1, uint32(q)))
+		}
+	})
+	g.MakeExecutable()
+	t0 := time.Now()
+	for p := 0; p < s.Width; p++ {
+		g.Invoke(point, core.Pack2(0, uint32(p)))
+	}
+	g.Wait()
+	for p := 0; p < s.Width; p++ {
+		checksum += grid[(s.Steps-1)*s.Width+p]
+	}
+	return Result{Elapsed: time.Since(t0), Checksum: checksum, Tasks: s.TotalTasks()}
+}
+
+// WorkshareRunner is the OpenMP-parallel-for contender: one barrier-
+// separated parallel loop per timestep.
+type WorkshareRunner struct{}
+
+// Name implements Runner.
+func (WorkshareRunner) Name() string { return "OpenMP Parallel For (workshare)" }
+
+// Supports implements Runner.
+func (WorkshareRunner) Supports(Pattern) bool { return true }
+
+// Run implements Runner.
+func (WorkshareRunner) Run(s Spec, threads int) Result {
+	pool := workshare.NewPool(threads)
+	defer pool.Close()
+	grid := make([]float64, s.Steps*s.Width)
+	t0 := time.Now()
+	for t := 0; t < s.Steps; t++ {
+		t := t
+		pool.ParallelFor(s.Width, func(p, _ int) {
+			var depVals []float64
+			if t > 0 {
+				deps := s.Deps(t, p)
+				depVals = make([]float64, len(deps))
+				for i, q := range deps {
+					depVals[i] = grid[(t-1)*s.Width+q]
+				}
+			}
+			grid[t*s.Width+p] = s.Value(t, p, depVals)
+		})
+	}
+	elapsed := time.Since(t0)
+	checksum := 0.0
+	for p := 0; p < s.Width; p++ {
+		checksum += grid[(s.Steps-1)*s.Width+p]
+	}
+	return Result{Elapsed: elapsed, Checksum: checksum, Tasks: s.TotalTasks()}
+}
+
+// OMPTaskRunner is the OpenMP-tasks contender: W×Steps tasks with
+// address-based dependencies through a centrally locked queue.
+type OMPTaskRunner struct{}
+
+// Name implements Runner.
+func (OMPTaskRunner) Name() string { return "OpenMP Tasks (central queue)" }
+
+// Supports implements Runner.
+func (OMPTaskRunner) Supports(Pattern) bool { return true }
+
+// Run implements Runner.
+func (OMPTaskRunner) Run(s Spec, threads int) Result {
+	r := omptask.New(threads)
+	defer r.Close()
+	grid := make([]float64, s.Steps*s.Width)
+	addr := func(t, p int) uint64 { return uint64(t)<<32 | uint64(p) }
+	t0 := time.Now()
+	for t := 0; t < s.Steps; t++ {
+		for p := 0; p < s.Width; p++ {
+			t, p := t, p
+			deps := []omptask.Dep{omptask.Out(addr(t, p))}
+			for _, q := range s.Deps(t, p) {
+				deps = append(deps, omptask.In(addr(t-1, q)))
+			}
+			r.Submit(deps, func(int) {
+				var depVals []float64
+				if t > 0 {
+					dl := s.Deps(t, p)
+					depVals = make([]float64, len(dl))
+					for i, q := range dl {
+						depVals[i] = grid[(t-1)*s.Width+q]
+					}
+				}
+				grid[t*s.Width+p] = s.Value(t, p, depVals)
+			})
+		}
+	}
+	r.Wait()
+	elapsed := time.Since(t0)
+	checksum := 0.0
+	for p := 0; p < s.Width; p++ {
+		checksum += grid[(s.Steps-1)*s.Width+p]
+	}
+	return Result{Elapsed: elapsed, Checksum: checksum, Tasks: s.TotalTasks()}
+}
+
+// TaskflowRunner builds the whole iteration space as a static control-flow
+// DAG (graph construction is excluded from the timing, as for real
+// TaskFlow programs that amortize graph reuse).
+type TaskflowRunner struct{}
+
+// Name implements Runner.
+func (TaskflowRunner) Name() string { return "TaskFlow (static DAG)" }
+
+// Supports implements Runner.
+func (TaskflowRunner) Supports(Pattern) bool { return true }
+
+// Run implements Runner.
+func (TaskflowRunner) Run(s Spec, threads int) Result {
+	grid := make([]float64, s.Steps*s.Width)
+	g := taskflow.NewGraph()
+	nodes := make([][]*taskflow.Node, s.Steps)
+	for t := 0; t < s.Steps; t++ {
+		nodes[t] = make([]*taskflow.Node, s.Width)
+		for p := 0; p < s.Width; p++ {
+			t, p := t, p
+			nodes[t][p] = g.Node(func(int) {
+				var depVals []float64
+				if t > 0 {
+					dl := s.Deps(t, p)
+					depVals = make([]float64, len(dl))
+					for i, q := range dl {
+						depVals[i] = grid[(t-1)*s.Width+q]
+					}
+				}
+				grid[t*s.Width+p] = s.Value(t, p, depVals)
+			})
+			if t > 0 {
+				for _, q := range s.Deps(t, p) {
+					nodes[t-1][q].Precede(nodes[t][p])
+				}
+			}
+		}
+	}
+	ex := taskflow.NewExecutor(threads)
+	defer ex.Close()
+	t0 := time.Now()
+	ex.Run(g)
+	elapsed := time.Since(t0)
+	checksum := 0.0
+	for p := 0; p < s.Width; p++ {
+		checksum += grid[(s.Steps-1)*s.Width+p]
+	}
+	return Result{Elapsed: elapsed, Checksum: checksum, Tasks: s.TotalTasks()}
+}
+
+// MPIRunner is the message-passing contender: `threads` ranks own
+// contiguous point blocks and exchange values explicitly each step. Only
+// near-neighbor patterns are supported (the paper evaluates the 1D stencil).
+type MPIRunner struct{}
+
+// Name implements Runner.
+func (MPIRunner) Name() string { return "MPI (message passing)" }
+
+// Supports implements Runner.
+func (MPIRunner) Supports(p Pattern) bool {
+	return p == Trivial || p == NoComm || p == Stencil1D || p == Random
+}
+
+// Run implements Runner.
+func (MPIRunner) Run(s Spec, threads int) Result {
+	ranks := threads
+	if ranks > s.Width {
+		ranks = s.Width
+	}
+	w := mpilike.NewWorld(ranks, 8)
+	lo := func(r int) int { return r * s.Width / ranks }
+	ownerOf := func(p int) int {
+		// contiguous blocks: find r with lo(r) <= p < lo(r+1)
+		r := p * ranks / s.Width
+		for lo(r) > p {
+			r--
+		}
+		for lo(r+1) <= p {
+			r++
+		}
+		return r
+	}
+	grid := make([]float64, s.Steps*s.Width) // cells written only by owners
+	t0 := time.Now()
+	w.Run(func(rk *mpilike.Rank) {
+		me := rk.ID()
+		myLo, myHi := lo(me), lo(me+1)
+		for t := 0; t < s.Steps; t++ {
+			if t > 0 {
+				// Send boundary values needed by other ranks' tasks, in
+				// (producer asc, consumer asc) order per destination.
+				sendTo := map[int][]float64{}
+				for p := myLo; p < myHi; p++ {
+					for _, q := range s.RDeps(t-1, p) {
+						if o := ownerOf(q); o != me {
+							sendTo[o] = append(sendTo[o], grid[(t-1)*s.Width+p])
+						}
+					}
+				}
+				for dst := 0; dst < ranks; dst++ {
+					if vals := sendTo[dst]; vals != nil {
+						rk.Send(dst, vals)
+					}
+				}
+				// Receive boundary values from producers on other ranks.
+				recvFrom := map[int][]float64{}
+				need := map[int]int{}
+				for p := myLo; p < myHi; p++ {
+					for _, q := range s.Deps(t, p) {
+						if o := ownerOf(q); o != me {
+							need[o]++
+						}
+					}
+				}
+				for src := range need {
+					recvFrom[src] = rk.Recv(src)
+				}
+				// Compute this step for owned points. Halo values are
+				// consumed in (p ascending, q ascending) order — the same
+				// order they were produced on the sending rank.
+				cursor := map[int]int{}
+				for p := myLo; p < myHi; p++ {
+					dl := s.Deps(t, p)
+					depVals := make([]float64, len(dl))
+					for i, q := range dl {
+						if o := ownerOf(q); o == me {
+							depVals[i] = grid[(t-1)*s.Width+q]
+						} else {
+							depVals[i] = recvFrom[o][cursor[o]]
+							cursor[o]++
+						}
+					}
+					grid[t*s.Width+p] = s.Value(t, p, depVals)
+				}
+			} else {
+				for p := myLo; p < myHi; p++ {
+					grid[p] = s.Value(0, p, nil)
+				}
+			}
+		}
+	})
+	elapsed := time.Since(t0)
+	// Sum the final row in global point order so the checksum is
+	// bit-identical to the sequential reference (FP addition does not
+	// associate across rank-local subtotals).
+	checksum := 0.0
+	for p := 0; p < s.Width; p++ {
+		checksum += grid[(s.Steps-1)*s.Width+p]
+	}
+	return Result{Elapsed: elapsed, Checksum: checksum, Tasks: s.TotalTasks()}
+}
+
+// LegionRunner is the deferred-execution contender: every task is launched
+// through the serialized dependence-analysis stage.
+type LegionRunner struct{}
+
+// Name implements Runner.
+func (LegionRunner) Name() string { return "Legion (deferred execution)" }
+
+// Supports implements Runner.
+func (LegionRunner) Supports(Pattern) bool { return true }
+
+// Run implements Runner.
+func (LegionRunner) Run(s Spec, threads int) Result {
+	r := legionlike.New(threads)
+	grid := make([]float64, s.Steps*s.Width)
+	reg := func(t, p int) uint64 { return uint64(t)<<32 | uint64(p) }
+	t0 := time.Now()
+	for t := 0; t < s.Steps; t++ {
+		for p := 0; p < s.Width; p++ {
+			t, p := t, p
+			var reads []uint64
+			for _, q := range s.Deps(t, p) {
+				reads = append(reads, reg(t-1, q))
+			}
+			r.Launch(reads, []uint64{reg(t, p)}, func() {
+				var depVals []float64
+				if t > 0 {
+					dl := s.Deps(t, p)
+					depVals = make([]float64, len(dl))
+					for i, q := range dl {
+						depVals[i] = grid[(t-1)*s.Width+q]
+					}
+				}
+				grid[t*s.Width+p] = s.Value(t, p, depVals)
+			})
+		}
+	}
+	r.Fence()
+	elapsed := time.Since(t0)
+	r.Close()
+	checksum := 0.0
+	for p := 0; p < s.Width; p++ {
+		checksum += grid[(s.Steps-1)*s.Width+p]
+	}
+	return Result{Elapsed: elapsed, Checksum: checksum, Tasks: s.TotalTasks()}
+}
+
+// StandardRunners returns the full contender set of the paper's Figs. 7–8
+// (with non-pinned workers so the set runs on small CI machines).
+func StandardRunners() []Runner {
+	mk := func(orig bool) func(int) rt.Config {
+		return func(threads int) rt.Config {
+			var c rt.Config
+			if orig {
+				c = rt.OriginalConfig(threads)
+			} else {
+				c = rt.OptimizedConfig(threads)
+			}
+			c.PinWorkers = false
+			return c
+		}
+	}
+	return []Runner{
+		TTGRunner{Label: "TTG (optimized)", Cfg: mk(false)},
+		TTGRunner{Label: "TTG (original)", Cfg: mk(true)},
+		PTGRunner{Label: "PaRSEC PTG (optimized)", Cfg: mk(false)},
+		PTGRunner{Label: "PaRSEC PTG (orig)", Cfg: mk(true)},
+		DTDRunner{},
+		WorkshareRunner{},
+		OMPTaskRunner{},
+		TaskflowRunner{},
+		MPIRunner{},
+		LegionRunner{},
+	}
+}
+
+// CheckAll runs every supporting runner on s and verifies checksums against
+// the sequential reference, returning an error naming the first divergence.
+func CheckAll(s Spec, threads int) error {
+	want := s.Reference()
+	for _, r := range StandardRunners() {
+		if !r.Supports(s.Pattern) {
+			continue
+		}
+		got := r.Run(s, threads)
+		if got.Checksum != want {
+			return fmt.Errorf("%s: checksum %v, want %v", r.Name(), got.Checksum, want)
+		}
+	}
+	return nil
+}
+
+// DTDRunner is the PaRSEC-DTD contender: sequential insert_task discovery
+// with handle-based dependence inference, dispatched through the same
+// optimized gottg scheduler stack (the other PaRSEC frontend of the
+// Task-Bench comparison).
+type DTDRunner struct{}
+
+// Name implements Runner.
+func (DTDRunner) Name() string { return "PaRSEC DTD (insert_task)" }
+
+// Supports implements Runner.
+func (DTDRunner) Supports(Pattern) bool { return true }
+
+// Run implements Runner.
+func (DTDRunner) Run(s Spec, threads int) Result {
+	cfg := rt.OptimizedConfig(threads)
+	cfg.PinWorkers = false
+	r := dtd.New(cfg)
+	grid := make([]float64, s.Steps*s.Width)
+	handles := make([]*dtd.Handle, s.Steps*s.Width)
+	for i := range handles {
+		handles[i] = r.NewData()
+	}
+	t0 := time.Now()
+	for t := 0; t < s.Steps; t++ {
+		for p := 0; p < s.Width; p++ {
+			t, p := t, p
+			acc := []dtd.Access{dtd.Write(handles[t*s.Width+p])}
+			for _, q := range s.Deps(t, p) {
+				acc = append(acc, dtd.Read(handles[(t-1)*s.Width+q]))
+			}
+			r.Insert("point", func() {
+				var depVals []float64
+				if t > 0 {
+					dl := s.Deps(t, p)
+					depVals = make([]float64, len(dl))
+					for i, q := range dl {
+						depVals[i] = grid[(t-1)*s.Width+q]
+					}
+				}
+				grid[t*s.Width+p] = s.Value(t, p, depVals)
+			}, acc...)
+		}
+	}
+	r.Wait()
+	elapsed := time.Since(t0)
+	checksum := 0.0
+	for p := 0; p < s.Width; p++ {
+		checksum += grid[(s.Steps-1)*s.Width+p]
+	}
+	return Result{Elapsed: elapsed, Checksum: checksum, Tasks: s.TotalTasks()}
+}
+
+// BuildTTGGraph constructs (without executing) the Task-Bench TTG of paper
+// Fig. 2a — Init feeding Point tasks that cycle via aggregator terminals
+// and drain into Write-Back — so harnesses can render it (Graph.Dot).
+func BuildTTGGraph(s Spec, cfg rt.Config) *core.Graph {
+	g := core.New(cfg)
+	eInit := core.NewEdge("I2P")
+	ePoint := core.NewEdge("P2P")
+	eBack := core.NewEdge("P2W")
+	ini := g.NewTT("Init", 1, 1, func(tc core.TaskContext) {
+		for p := 0; p < s.Width; p++ {
+			tc.Send(0, core.Pack2(0, uint32(p)), &pointVal{P: p})
+		}
+	})
+	point := g.NewTT("Point", 1, 2, func(core.TaskContext) {}).
+		WithAggregator(0, func(key uint64) int {
+			t, p := core.Unpack2(key)
+			if t == 0 {
+				return 1
+			}
+			return len(s.Deps(int(t), int(p)))
+		})
+	back := g.NewTT("Write-Back", 1, 0, func(core.TaskContext) {}).
+		WithAggregator(0, func(uint64) int { return s.Width })
+	ini.Out(0, eInit)
+	point.Out(0, ePoint).Out(1, eBack)
+	eInit.To(point, 0)
+	ePoint.To(point, 0)
+	eBack.To(back, 0)
+	return g
+}

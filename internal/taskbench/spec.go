@@ -1,0 +1,218 @@
+// Package taskbench implements the parameterized Task-Bench benchmark of
+// Slaughter et al. (SC'20) as used in paper §V-D: an iteration space of
+// `Width` points by `Steps` timesteps, a dependency pattern connecting
+// consecutive timesteps, and a compute-bound kernel of configurable
+// flops-per-task. Every contender runtime (TTG, PTG, OpenMP-style
+// worksharing and tasks, TaskFlow, MPI, Legion) implements the same
+// contract and must produce bit-identical checksums.
+package taskbench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pattern selects the dependency structure between consecutive timesteps.
+type Pattern int
+
+const (
+	// Trivial has no data dependencies; tasks are triggered point-wise
+	// (control only).
+	Trivial Pattern = iota
+	// NoComm passes each point's value straight down (1 dependency).
+	NoComm
+	// Stencil1D depends on {p-1, p, p+1} — the paper's pattern (Fig. 2b).
+	Stencil1D
+	// FFT depends on {p, p XOR 2^(t mod log2 W)} (butterfly).
+	FFT
+	// Random depends on a deterministic pseudo-random subset of
+	// {p-2..p+2}, always including p.
+	Random
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Trivial:
+		return "trivial"
+	case NoComm:
+		return "no_comm"
+	case Stencil1D:
+		return "stencil_1d"
+	case FFT:
+		return "fft"
+	case Random:
+		return "random_nearest"
+	}
+	return "?"
+}
+
+// ParsePattern converts a name to a Pattern.
+func ParsePattern(s string) (Pattern, error) {
+	for _, p := range []Pattern{Trivial, NoComm, Stencil1D, FFT, Random} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("taskbench: unknown pattern %q", s)
+}
+
+// Spec is one benchmark instance.
+type Spec struct {
+	Pattern Pattern
+	Width   int // points per timestep (paper: one per core)
+	Steps   int // timesteps (paper: 1000)
+	Flops   int // kernel flops per task
+}
+
+// log2floor returns floor(log2(w)), at least 1.
+func log2floor(w int) int {
+	l := 0
+	for v := w; v > 1; v >>= 1 {
+		l++
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// Deps returns the producer points at timestep t-1 for point p at timestep
+// t, in ascending order. For t == 0 it returns nil (tasks are seeded).
+func (s Spec) Deps(t, p int) []int {
+	if t == 0 {
+		return nil
+	}
+	switch s.Pattern {
+	case Trivial, NoComm:
+		return []int{p}
+	case Stencil1D:
+		out := make([]int, 0, 3)
+		for d := -1; d <= 1; d++ {
+			if q := p + d; q >= 0 && q < s.Width {
+				out = append(out, q)
+			}
+		}
+		return out
+	case FFT:
+		other := p ^ (1 << uint((t-1)%log2floor(s.Width)))
+		if other >= s.Width {
+			return []int{p}
+		}
+		if other < p {
+			return []int{other, p}
+		}
+		return []int{p, other}
+	case Random:
+		out := []int{}
+		for d := -2; d <= 2; d++ {
+			q := p + d
+			if q < 0 || q >= s.Width {
+				continue
+			}
+			if d == 0 || randBit(t, p, d) {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// randBit is a deterministic hash deciding whether the Random pattern links
+// (t-1,p+d) -> (t,p).
+func randBit(t, p, d int) bool {
+	x := uint64(t)*0x9e3779b97f4a7c15 ^ uint64(p)*0xbf58476d1ce4e5b9 ^ uint64(d+7)*0x94d049bb133111eb
+	x ^= x >> 31
+	x *= 0xbf58476d1ce4e5b9
+	return x&7 < 3
+}
+
+// RDeps returns the consumer points at timestep t+1 of point p at timestep
+// t, in ascending order — the exact inverse of Deps.
+func (s Spec) RDeps(t, p int) []int {
+	if t+1 >= s.Steps {
+		return nil
+	}
+	switch s.Pattern {
+	case Trivial, NoComm:
+		return []int{p}
+	case Stencil1D, FFT:
+		// These patterns are symmetric between producers and consumers.
+		return s.Deps(t+1, p)
+	case Random:
+		out := []int{}
+		for d := -2; d <= 2; d++ {
+			q := p + d // candidate consumer
+			if q < 0 || q >= s.Width {
+				continue
+			}
+			// (t+1, q) depends on (t, q + d') with d' = p - q = -d.
+			if -d == 0 || randBit(t+1, q, -d) {
+				out = append(out, q)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	return nil
+}
+
+// kernelIters converts flops to loop iterations (2 flops per FMA step).
+func (s Spec) kernelIters() int {
+	it := s.Flops / 2
+	if it < 1 {
+		it = 1
+	}
+	return it
+}
+
+// Kernel is the compute-bound task body: a dependent multiply-add chain of
+// s.Flops floating-point operations seeded with x.
+func (s Spec) Kernel(x float64) float64 {
+	n := s.kernelIters()
+	for i := 0; i < n; i++ {
+		x = x*1.0000001 + 1e-9
+	}
+	return x
+}
+
+// Value computes the task value at (t, p) given the values of its
+// dependencies, which the caller must supply in ascending producer order
+// (the paper's sorted_insert) for bit-identical results across runtimes.
+func (s Spec) Value(t, p int, depVals []float64) float64 {
+	x := float64(p + 1)
+	for _, v := range depVals {
+		x += v
+	}
+	return s.Kernel(x / 3)
+}
+
+// Reference computes the expected checksum (sum of last-step values) with a
+// simple sequential sweep — the oracle every runtime must match exactly.
+func (s Spec) Reference() float64 {
+	cur := make([]float64, s.Width)
+	next := make([]float64, s.Width)
+	for p := 0; p < s.Width; p++ {
+		cur[p] = s.Value(0, p, nil)
+	}
+	var depVals []float64
+	for t := 1; t < s.Steps; t++ {
+		for p := 0; p < s.Width; p++ {
+			depVals = depVals[:0]
+			for _, q := range s.Deps(t, p) {
+				depVals = append(depVals, cur[q])
+			}
+			next[p] = s.Value(t, p, depVals)
+		}
+		cur, next = next, cur
+	}
+	sum := 0.0
+	for p := 0; p < s.Width; p++ {
+		sum += cur[p]
+	}
+	return sum
+}
+
+// TotalTasks returns Width·Steps.
+func (s Spec) TotalTasks() int { return s.Width * s.Steps }

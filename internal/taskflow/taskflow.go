@@ -1,0 +1,154 @@
+// Package taskflow is the TaskFlow baseline: a statically constructed
+// control-flow task DAG (no data flow — TaskFlow "does not support multiple
+// flows between the same two tasks", Fig. 5) executed by a small
+// work-stealing executor with per-node join counters.
+package taskflow
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Node is one task in a static graph.
+type Node struct {
+	fn    func(thread int)
+	succs []*Node
+	preds int32
+	joins atomic.Int32
+}
+
+// Graph is a static task DAG, built once and runnable repeatedly.
+type Graph struct {
+	nodes []*Node
+}
+
+// NewGraph creates an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// Node adds a task.
+func (g *Graph) Node(fn func(thread int)) *Node {
+	n := &Node{fn: fn}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Precede declares that n runs before all of succs.
+func (n *Node) Precede(succs ...*Node) {
+	for _, s := range succs {
+		n.succs = append(n.succs, s)
+		s.preds++
+	}
+}
+
+// Executor runs graphs on a team of workers with per-worker stacks and
+// stealing.
+type Executor struct {
+	threads int
+	queues  []workQueue
+
+	remaining atomic.Int64
+	quit      atomic.Bool
+	wg        sync.WaitGroup
+	runMu     sync.Mutex
+}
+
+type workQueue struct {
+	mu    sync.Mutex
+	stack []*Node
+	_     [40]byte
+}
+
+func (q *workQueue) push(n *Node) {
+	q.mu.Lock()
+	q.stack = append(q.stack, n)
+	q.mu.Unlock()
+}
+
+func (q *workQueue) pop() *Node {
+	q.mu.Lock()
+	var n *Node
+	if l := len(q.stack); l > 0 {
+		n = q.stack[l-1]
+		q.stack = q.stack[:l-1]
+	}
+	q.mu.Unlock()
+	return n
+}
+
+// NewExecutor starts `threads` workers.
+func NewExecutor(threads int) *Executor {
+	if threads < 1 {
+		threads = 1
+	}
+	e := &Executor{threads: threads, queues: make([]workQueue, threads)}
+	for t := 0; t < threads; t++ {
+		e.wg.Add(1)
+		go e.worker(t)
+	}
+	return e
+}
+
+// Run executes the graph to completion (one run at a time per executor).
+func (e *Executor) Run(g *Graph) {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if len(g.nodes) == 0 {
+		return
+	}
+	e.remaining.Store(int64(len(g.nodes)))
+	// Arm join counters, then release roots.
+	for _, n := range g.nodes {
+		n.joins.Store(n.preds)
+	}
+	w := 0
+	for _, n := range g.nodes {
+		if n.preds == 0 {
+			e.queues[w%e.threads].push(n)
+			w++
+		}
+	}
+	for e.remaining.Load() != 0 {
+		runtime.Gosched()
+	}
+}
+
+func (e *Executor) worker(tid int) {
+	defer e.wg.Done()
+	spins := 0
+	for {
+		n := e.queues[tid].pop()
+		if n == nil {
+			for o := 1; o < e.threads && n == nil; o++ {
+				n = e.queues[(tid+o)%e.threads].pop()
+			}
+		}
+		if n == nil {
+			if e.quit.Load() {
+				return
+			}
+			spins++
+			if spins%64 == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		spins = 0
+		n.fn(tid)
+		for _, s := range n.succs {
+			if s.joins.Add(-1) == 0 {
+				e.queues[tid].push(s)
+			}
+		}
+		e.remaining.Add(-1)
+	}
+}
+
+// Close shuts the executor down.
+func (e *Executor) Close() {
+	e.quit.Store(true)
+	e.wg.Wait()
+}

@@ -1,0 +1,105 @@
+package taskflow
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestLinearChainOrder(t *testing.T) {
+	g := NewGraph()
+	const n = 1000
+	var seq []int
+	prev := (*Node)(nil)
+	for i := 0; i < n; i++ {
+		i := i
+		node := g.Node(func(int) { seq = append(seq, i) })
+		if prev != nil {
+			prev.Precede(node)
+		}
+		prev = node
+	}
+	e := NewExecutor(2)
+	defer e.Close()
+	e.Run(g)
+	if len(seq) != n {
+		t.Fatalf("ran %d", len(seq))
+	}
+	for i, v := range seq {
+		if v != i {
+			t.Fatalf("chain order violated at %d: %d", i, v)
+		}
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	g := NewGraph()
+	var log atomic.Int64
+	a := g.Node(func(int) { log.Add(1) })
+	b := g.Node(func(int) {
+		if log.Load() < 1 {
+			t.Error("b ran before a")
+		}
+		log.Add(10)
+	})
+	c := g.Node(func(int) {
+		if log.Load() < 1 {
+			t.Error("c ran before a")
+		}
+		log.Add(10)
+	})
+	d := g.Node(func(int) {
+		if v := log.Load(); v != 21 {
+			t.Errorf("d ran with log=%d, want 21", v)
+		}
+	})
+	a.Precede(b, c)
+	b.Precede(d)
+	c.Precede(d)
+	e := NewExecutor(4)
+	defer e.Close()
+	e.Run(g)
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestGraphIsReRunnable(t *testing.T) {
+	g := NewGraph()
+	var n atomic.Int64
+	a := g.Node(func(int) { n.Add(1) })
+	b := g.Node(func(int) { n.Add(1) })
+	a.Precede(b)
+	e := NewExecutor(2)
+	defer e.Close()
+	for i := 0; i < 10; i++ {
+		e.Run(g)
+	}
+	if n.Load() != 20 {
+		t.Fatalf("n = %d, want 20", n.Load())
+	}
+}
+
+func TestWideFanOutFanIn(t *testing.T) {
+	g := NewGraph()
+	var n atomic.Int64
+	src := g.Node(func(int) {})
+	sink := g.Node(func(int) {
+		if n.Load() != 256 {
+			t.Errorf("sink ran with %d/256 middles done", n.Load())
+		}
+	})
+	for i := 0; i < 256; i++ {
+		m := g.Node(func(int) { n.Add(1) })
+		src.Precede(m)
+		m.Precede(sink)
+	}
+	e := NewExecutor(4)
+	defer e.Close()
+	e.Run(g)
+}
+
+func TestEmptyGraph(t *testing.T) {
+	e := NewExecutor(2)
+	defer e.Close()
+	e.Run(NewGraph()) // must not hang
+}

@@ -1,0 +1,216 @@
+package termdet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessModeCounts(t *testing.T) {
+	d := New(2, false)
+	d.Discovered(0)
+	d.Discovered(1)
+	d.Discovered(ExternalSlot)
+	if got := d.PendingApprox(); got != 3 {
+		t.Fatalf("pending = %d, want 3", got)
+	}
+	d.Completed(0)
+	d.Completed(1)
+	d.Completed(0)
+	if got := d.PendingApprox(); got != 0 {
+		t.Fatalf("pending = %d, want 0", got)
+	}
+	if d.Flushes() != 0 {
+		t.Fatal("process mode must never flush")
+	}
+}
+
+func TestThreadLocalDeferredFlush(t *testing.T) {
+	d := New(2, true)
+	d.Discovered(0)
+	d.Discovered(0)
+	d.Completed(0)
+	// Deltas are private until flush.
+	if got := d.PendingApprox(); got != 0 {
+		t.Fatalf("pending before flush = %d, want 0", got)
+	}
+	d.Flush(0)
+	if got := d.PendingApprox(); got != 1 {
+		t.Fatalf("pending after flush = %d, want 1", got)
+	}
+	if d.Flushes() != 1 {
+		t.Fatalf("flushes = %d, want 1", d.Flushes())
+	}
+	d.Flush(0) // clean cell: must not count as a flush
+	if d.Flushes() != 1 {
+		t.Fatal("flushing a clean cell was counted")
+	}
+	// External slot bypasses cells even in thread-local mode.
+	d.Discovered(ExternalSlot)
+	if got := d.PendingApprox(); got != 2 {
+		t.Fatalf("pending after external discovery = %d, want 2", got)
+	}
+}
+
+func TestQuiescenceFiresExactlyWhenDrained(t *testing.T) {
+	for _, tl := range []bool{false, true} {
+		d := New(2, tl)
+		var fired atomic.Int32
+		d.SetOnQuiescent(func() { fired.Add(1) })
+
+		d.Discovered(0) // one outstanding task
+		d.EnterIdle(1)  // worker 1 idles; not quiescent (pending=1)
+		if fired.Load() != 0 {
+			t.Fatalf("tl=%v: quiescence fired with pending work", tl)
+		}
+		d.EnterIdle(0) // worker 0 idles; its cell flushes the +1
+		if fired.Load() != 0 {
+			t.Fatalf("tl=%v: quiescence fired with pending work after flush", tl)
+		}
+		d.LeaveIdle(0)
+		d.Completed(0) // task done
+		d.EnterIdle(0)
+		if fired.Load() != 1 {
+			t.Fatalf("tl=%v: quiescence did not fire when drained (fired=%d)", tl, fired.Load())
+		}
+		if !d.Quiescent() {
+			t.Fatalf("tl=%v: Quiescent() false at quiescence", tl)
+		}
+	}
+}
+
+func TestQuiescentFalseWhileWorkerBusy(t *testing.T) {
+	d := New(2, true)
+	d.EnterIdle(1)
+	// Worker 0 never idled: even with zero pending the process is not
+	// quiescent because worker 0 may hold unflushed state.
+	if d.Quiescent() {
+		t.Fatal("quiescent with a busy worker")
+	}
+}
+
+func TestMessageCounters(t *testing.T) {
+	d := New(1, true)
+	d.MsgSent()
+	d.MsgSent()
+	d.MsgRecvd()
+	s, r := d.Counts()
+	if s != 2 || r != 1 {
+		t.Fatalf("counts = (%d,%d), want (2,1)", s, r)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(2, true)
+	d.Discovered(0)
+	d.Discovered(ExternalSlot)
+	d.MsgSent()
+	d.EnterIdle(0)
+	d.Reset()
+	if d.PendingApprox() != 0 || d.IdleWorkers() != 0 || d.Flushes() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	s, r := d.Counts()
+	if s != 0 || r != 0 {
+		t.Fatal("Reset left message counts")
+	}
+	if d.cells[0].Delta != 0 {
+		t.Fatal("Reset left cell delta")
+	}
+}
+
+// Property: however discoveries and completions are distributed over workers,
+// after all workers flush, the process counter equals discoveries minus
+// completions — both modes agree.
+func TestQuickModesAgree(t *testing.T) {
+	type ev struct {
+		Slot     uint8
+		Complete bool
+	}
+	f := func(events []ev) bool {
+		const W = 4
+		dp := New(W, false)
+		dt := New(W, true)
+		var balance int64
+		for _, e := range events {
+			slot := int(e.Slot) % W
+			// Never let the balance go negative (a completion without a
+			// discovery cannot happen in the runtime).
+			if e.Complete && balance > 0 {
+				dp.Completed(slot)
+				dt.Completed(slot)
+				balance--
+			} else {
+				dp.Discovered(slot)
+				dt.Discovered(slot)
+				balance++
+			}
+		}
+		for w := 0; w < W; w++ {
+			dt.Flush(w)
+		}
+		return dp.PendingApprox() == balance && dt.PendingApprox() == balance
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Simulate a full worker lifecycle concurrently and verify quiescence is
+// announced exactly once at the true end.
+func TestConcurrentLifecycle(t *testing.T) {
+	const W = 4
+	const tasksPerWorker = 5000
+	for _, tl := range []bool{false, true} {
+		d := New(W, tl)
+		done := make(chan struct{})
+		var closed atomic.Bool
+		d.SetOnQuiescent(func() {
+			if closed.CompareAndSwap(false, true) {
+				close(done)
+			}
+		})
+		var wg sync.WaitGroup
+		for w := 0; w < W; w++ {
+			wg.Add(1)
+			go func(slot int) {
+				defer wg.Done()
+				for i := 0; i < tasksPerWorker; i++ {
+					d.Discovered(slot)
+				}
+				for i := 0; i < tasksPerWorker; i++ {
+					d.Completed(slot)
+				}
+				d.EnterIdle(slot)
+			}(w)
+		}
+		wg.Wait()
+		select {
+		case <-done:
+		default:
+			t.Fatalf("tl=%v: quiescence never announced", tl)
+		}
+		if tl && d.Flushes() > W {
+			t.Fatalf("tl=%v: %d flushes for %d workers — shared counter not rare",
+				tl, d.Flushes(), W)
+		}
+	}
+}
+
+func BenchmarkAblationTermDetProcess(b *testing.B) {
+	d := New(1, false)
+	for i := 0; i < b.N; i++ {
+		d.Discovered(0)
+		d.Completed(0)
+	}
+}
+
+func BenchmarkAblationTermDetThreadLocal(b *testing.B) {
+	d := New(1, true)
+	for i := 0; i < b.N; i++ {
+		d.Discovered(0)
+		d.Completed(0)
+	}
+	d.Flush(0)
+}

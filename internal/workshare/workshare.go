@@ -1,0 +1,106 @@
+// Package workshare is the OpenMP-worksharing baseline: a persistent thread
+// pool executing statically chunked parallel-for loops separated by barriers
+// (fork-join). It models the "OpenMP Parallel For" contender of the paper's
+// Task-Bench evaluation (Figs. 7–11): per-iteration cost is near zero, but
+// every timestep pays a full barrier, which is what limits it at small task
+// granularities and high thread counts.
+package workshare
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent worksharing team. The creating goroutine acts as
+// thread 0 and participates in every loop.
+type Pool struct {
+	threads int
+
+	epoch   atomic.Uint64 // incremented to publish a new loop
+	arrived atomic.Int64  // workers done with the current loop
+
+	fn    func(i, thread int)
+	total int
+
+	quit atomic.Bool
+	wg   sync.WaitGroup
+}
+
+// NewPool starts a team of `threads` (>=1). threads-1 helper goroutines are
+// spawned; the caller is thread 0.
+func NewPool(threads int) *Pool {
+	if threads < 1 {
+		threads = 1
+	}
+	p := &Pool{threads: threads}
+	for t := 1; t < threads; t++ {
+		p.wg.Add(1)
+		go p.worker(t)
+	}
+	return p
+}
+
+// Threads returns the team size.
+func (p *Pool) Threads() int { return p.threads }
+
+// ParallelFor executes fn(i, thread) for i in [0,n) with static chunking
+// across the team, returning after the implicit barrier. Must be called from
+// the goroutine that created the pool.
+func (p *Pool) ParallelFor(n int, fn func(i, thread int)) {
+	if p.threads == 1 {
+		for i := 0; i < n; i++ {
+			fn(i, 0)
+		}
+		return
+	}
+	p.fn = fn
+	p.total = n
+	p.arrived.Store(0)
+	p.epoch.Add(1) // publish (all prior writes ordered before)
+	p.chunk(0)
+	// Barrier: wait for all helpers.
+	for p.arrived.Load() != int64(p.threads-1) {
+		runtime.Gosched()
+	}
+}
+
+// chunk runs thread t's static share of the published loop.
+func (p *Pool) chunk(t int) {
+	n, threads := p.total, p.threads
+	lo := t * n / threads
+	hi := (t + 1) * n / threads
+	fn := p.fn
+	for i := lo; i < hi; i++ {
+		fn(i, t)
+	}
+}
+
+func (p *Pool) worker(t int) {
+	defer p.wg.Done()
+	last := uint64(0)
+	spins := 0
+	for {
+		e := p.epoch.Load()
+		if e == last {
+			if p.quit.Load() {
+				return
+			}
+			spins++
+			if spins%64 == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		spins = 0
+		last = e
+		p.chunk(t)
+		p.arrived.Add(1)
+	}
+}
+
+// Close shuts the team down. The pool is unusable afterwards.
+func (p *Pool) Close() {
+	p.quit.Store(true)
+	p.wg.Wait()
+}

@@ -1,0 +1,88 @@
+package workshare
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelForCoversRange(t *testing.T) {
+	for _, threads := range []int{1, 2, 4} {
+		p := NewPool(threads)
+		const n = 10000
+		hits := make([]int32, n)
+		p.ParallelFor(n, func(i, thread int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("threads=%d: index %d executed %d times", threads, i, h)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestRepeatedLoops(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum atomic.Int64
+	for round := 0; round < 200; round++ {
+		p.ParallelFor(64, func(i, thread int) {
+			sum.Add(1)
+		})
+	}
+	if sum.Load() != 200*64 {
+		t.Fatalf("sum = %d, want %d", sum.Load(), 200*64)
+	}
+}
+
+func TestBarrierSemantics(t *testing.T) {
+	// Writes from loop k must be visible to loop k+1 (implicit barrier).
+	p := NewPool(4)
+	defer p.Close()
+	data := make([]int, 256)
+	p.ParallelFor(len(data), func(i, _ int) { data[i] = i })
+	var bad atomic.Int32
+	p.ParallelFor(len(data), func(i, _ int) {
+		if data[i] != i {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d stale reads across barrier", bad.Load())
+	}
+}
+
+func TestZeroAndTinyIterations(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	p.ParallelFor(0, func(i, _ int) { t.Error("body ran for n=0") })
+	var n atomic.Int32
+	p.ParallelFor(1, func(i, _ int) { n.Add(1) })
+	if n.Load() != 1 {
+		t.Fatalf("n=1 loop ran %d times", n.Load())
+	}
+	if p.Threads() != 4 {
+		t.Fatalf("Threads = %d", p.Threads())
+	}
+}
+
+func TestQuickSumMatchesSequential(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	f := func(vals []int32) bool {
+		var got atomic.Int64
+		p.ParallelFor(len(vals), func(i, _ int) {
+			got.Add(int64(vals[i]))
+		})
+		var want int64
+		for _, v := range vals {
+			want += int64(v)
+		}
+		return got.Load() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

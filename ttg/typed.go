@@ -1,0 +1,41 @@
+package ttg
+
+// Value returns input terminal `slot` of the executing task asserted to T.
+// It panics with the standard interface-conversion message on a type
+// mismatch — the same failure mode as tc.Value(slot).(T), minus the
+// boilerplate.
+func Value[T any](tc TaskContext, slot int) T {
+	return tc.Value(slot).(T)
+}
+
+// ValueOr returns input terminal `slot` asserted to T, or `def` when the
+// input is a control-flow activation (nil) or of a different type.
+func ValueOr[T any](tc TaskContext, slot int, def T) T {
+	if v, ok := tc.Value(slot).(T); ok {
+		return v
+	}
+	return def
+}
+
+// AggregateValues collects an aggregator terminal's items asserted to T, in
+// arrival order (order by payload contents if determinism matters).
+func AggregateValues[T any](tc TaskContext, slot int) []T {
+	agg := tc.Aggregate(slot)
+	out := make([]T, agg.Len())
+	for i := range out {
+		out[i] = agg.Value(i).(T)
+	}
+	return out
+}
+
+// Reduce builds a streaming-terminal reducer from a typed fold function,
+// for use with TT.WithStreaming: the accumulator starts at `init`.
+func Reduce[A, V any](init A, fold func(acc A, v V) A) func(acc, v any) any {
+	return func(acc, v any) any {
+		a := init
+		if acc != nil {
+			a = acc.(A)
+		}
+		return fold(a, v.(V))
+	}
+}
