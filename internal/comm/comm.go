@@ -12,11 +12,20 @@
 // activation messages, sent/received accounting, quiescence probes, stability
 // detection over two consecutive reductions — is the paper's; only the wire
 // is a channel instead of a NIC.
+//
+// For fault-tolerance testing the wire can be made lossy with a seeded
+// FaultPlan (drop/duplicate/delay/reorder per link, see fault.go). Installing
+// one engages a sequence-number + cumulative-ack + retransmit link layer for
+// every cross-rank message — application and wave control alike — so the
+// termination protocol survives the injected faults. Without a fault plan the
+// wire is perfect and the link layer is bypassed entirely (zero overhead).
 package comm
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"gottg/internal/termdet"
 )
@@ -26,6 +35,8 @@ const (
 	tagProbe     = -1 // root -> all: contribute your counters when quiescent
 	tagReply     = -2 // all -> root: (sent, recvd) contribution
 	tagTerminate = -3 // root -> all: global termination
+	tagAbort     = -4 // any -> all: abort notification with a reason payload
+	tagAck       = -5 // link layer: cumulative ack (never itself sequenced)
 )
 
 // Handler processes an application-level active message on the destination
@@ -37,6 +48,7 @@ type message struct {
 	tag     int
 	payload []byte
 	a, b    int64 // control fields for wave messages
+	seq     int64 // link-layer sequence number; 0 = unsequenced (direct)
 }
 
 // mailbox is an unbounded MPSC queue with a wakeup channel usable in select.
@@ -71,6 +83,20 @@ func (m *mailbox) drain(buf []message) []message {
 // World is a set of simulated ranks sharing a termination wave.
 type World struct {
 	procs []*Proc
+
+	// Fault-injection and reliability state (see fault.go). reliable flips
+	// when a fault plan or drop filter is installed; it must happen before
+	// any rank starts. started is atomic because ranks start concurrently.
+	reliable bool
+	started  atomic.Bool
+	fp       *FaultPlan
+	dropF    func(src, dst, tag int) bool
+	rngMu    sync.Mutex
+	rngState uint64
+	rto      time.Duration
+
+	stallAfter time.Duration
+	onStall    func(rank int, summary string)
 }
 
 // NewWorld creates a world with n ranks. Each rank must have Start called
@@ -79,7 +105,7 @@ func NewWorld(n int) *World {
 	if n < 1 {
 		panic("comm: world size must be >= 1")
 	}
-	w := &World{procs: make([]*Proc, n)}
+	w := &World{procs: make([]*Proc, n), rto: 2 * time.Millisecond}
 	for i := range w.procs {
 		w.procs[i] = &Proc{
 			rank:     i,
@@ -100,7 +126,9 @@ func (w *World) Size() int { return len(w.procs) }
 // Proc returns the rank r endpoint.
 func (w *World) Proc(r int) *Proc { return w.procs[r] }
 
-// Shutdown stops all progress goroutines. Safe after termination.
+// Shutdown stops all progress goroutines. Safe after termination; with the
+// reliable link layer active this is what releases the lingering progress
+// goroutines that keep re-acking duplicates after termination.
 func (w *World) Shutdown() {
 	for _, p := range w.procs {
 		p.stopOnce.Do(func() { close(p.quit) })
@@ -122,6 +150,20 @@ type Proc struct {
 	stopOnce sync.Once
 
 	onTerminate func()
+	onError     func(err error)
+	onAbort     func(src int, reason string)
+
+	// Link-layer state. sendLinks is indexed by destination and guarded by
+	// its per-link mutex (Send may be called from any goroutine); recvLinks
+	// is indexed by source and private to the progress goroutine.
+	sendLinks []sendLink
+	recvLinks []recvLink
+
+	// progress-goroutine-private bookkeeping
+	terminated   bool
+	lastActivity time.Time
+	stalled      bool
+	dropped      int64 // unknown-tag messages dropped (diagnostics)
 
 	// non-root wave state (progress-goroutine-private)
 	replyOwed bool
@@ -151,12 +193,33 @@ func (p *Proc) Register(tag int, h Handler) {
 	p.handlers[tag] = h
 }
 
+// SetOnError installs a hook invoked on the progress goroutine when a
+// message must be dropped (for example an unknown application tag, which a
+// remote rank could otherwise use to kill this rank's progress goroutine).
+// The dropped message is still counted as received so the termination wave
+// stays balanced. Must be called before Start.
+func (p *Proc) SetOnError(f func(err error)) { p.onError = f }
+
+// SetOnAbort installs a hook invoked on the progress goroutine when a
+// remote rank broadcasts an abort. Must be called before Start.
+func (p *Proc) SetOnAbort(f func(src int, reason string)) { p.onAbort = f }
+
 // Start attaches the rank's termination detector and termination callback
 // and launches the progress goroutine. The detector's quiescence callback is
 // claimed by comm; runtimes in distributed mode must not set their own.
 func (p *Proc) Start(det *termdet.Detector, onTerminate func()) {
 	p.det = det
 	p.onTerminate = onTerminate
+	p.world.started.Store(true)
+	if p.world.reliable && p.sendLinks == nil {
+		n := len(p.world.procs)
+		p.sendLinks = make([]sendLink, n)
+		p.recvLinks = make([]recvLink, n)
+		for i := range p.sendLinks {
+			p.sendLinks[i].unacked = map[int64]*pendingSend{}
+			p.recvLinks[i].expected = 1
+		}
+	}
 	det.SetOnQuiescent(func() {
 		select {
 		case p.qNotify <- struct{}{}:
@@ -173,12 +236,42 @@ func (p *Proc) Send(dst, tag int, payload []byte) {
 		panic("comm: application sends must use tag >= 0")
 	}
 	p.det.MsgSent()
-	p.world.procs[dst].mbox.push(message{src: p.rank, tag: tag, payload: payload})
+	p.post(dst, message{src: p.rank, tag: tag, payload: payload})
 }
 
 // sendControl delivers a wave control message (not counted).
 func (p *Proc) sendControl(dst, tag int, a, b int64) {
-	p.world.procs[dst].mbox.push(message{src: p.rank, tag: tag, a: a, b: b})
+	p.post(dst, message{src: p.rank, tag: tag, a: a, b: b})
+}
+
+// Abort broadcasts an abort notification with a reason to every other rank.
+// Reliable when the link layer is active. Safe from any goroutine.
+func (p *Proc) Abort(reason string) {
+	for dst := range p.world.procs {
+		if dst == p.rank {
+			continue
+		}
+		p.post(dst, message{src: p.rank, tag: tagAbort, payload: []byte(reason)})
+	}
+}
+
+// post is the wire entry point for all outbound messages: it sequences the
+// message when the reliable link layer is active (self-sends bypass it) and
+// hands it to the fault-injecting transmitter.
+func (p *Proc) post(dst int, m message) {
+	w := p.world
+	if !w.reliable || dst == p.rank {
+		w.procs[dst].mbox.push(m)
+		return
+	}
+	l := &p.sendLinks[dst]
+	l.mu.Lock()
+	l.nextSeq++
+	m.seq = l.nextSeq
+	now := time.Now()
+	l.unacked[m.seq] = &pendingSend{msg: m, born: now, last: now}
+	l.mu.Unlock()
+	w.transmit(dst, m)
 }
 
 // Rounds reports how many reduction rounds the root performed (rank 0 only).
@@ -187,24 +280,136 @@ func (p *Proc) Rounds() int { return p.rounds }
 func (p *Proc) progress() {
 	defer close(p.stopped)
 	var buf []message
+	var tickC <-chan time.Time
+	if p.world.reliable {
+		tick := time.NewTicker(p.world.rto / 2)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	p.lastActivity = time.Now()
 	for {
 		select {
 		case <-p.quit:
 			return
 		case <-p.qNotify:
-			p.handleQuiescent()
+			if !p.terminated {
+				p.handleQuiescent()
+			}
+		case <-tickC:
+			p.retransmit()
+			p.checkStall()
 		case <-p.mbox.note:
 			buf = p.mbox.drain(buf)
 			for _, m := range buf {
-				if p.dispatch(m) {
-					return // terminated
-				}
+				p.receive(m)
 			}
+			if p.terminated && !p.world.reliable {
+				return
+			}
+			// With the reliable link layer the progress goroutine lingers
+			// after termination: it must keep re-acking duplicates and
+			// retransmitting until World.Shutdown, or a peer whose ack was
+			// lost would wait forever.
 		}
 	}
 }
 
-// dispatch processes one message; returns true on termination.
+// receive runs the inbound half of the link layer: acks are consumed,
+// sequenced messages are deduplicated and released to dispatch strictly
+// in-order per link, and everything else goes straight through.
+func (p *Proc) receive(m message) {
+	if m.tag == tagAck {
+		p.handleAck(m.src, m.a)
+		return
+	}
+	if m.seq == 0 { // unsequenced: self-send, or the link layer is off
+		p.dispatch(m)
+		return
+	}
+	p.lastActivity = time.Now()
+	p.stalled = false
+	l := &p.recvLinks[m.src]
+	switch {
+	case m.seq < l.expected:
+		// Duplicate (retransmit whose original arrived, or a wire dup):
+		// drop, but re-ack so the sender stops retransmitting.
+		p.sendAck(m.src, l.expected-1)
+	case m.seq > l.expected:
+		// Gap: hold out-of-order arrivals, ack the contiguous prefix.
+		if l.ooo == nil {
+			l.ooo = map[int64]message{}
+		}
+		l.ooo[m.seq] = m
+		p.sendAck(m.src, l.expected-1)
+	default:
+		p.dispatch(m)
+		l.expected++
+		for {
+			nxt, ok := l.ooo[l.expected]
+			if !ok {
+				break
+			}
+			delete(l.ooo, l.expected)
+			p.dispatch(nxt)
+			l.expected++
+		}
+		p.sendAck(m.src, l.expected-1)
+	}
+}
+
+// sendAck posts a cumulative ack for everything up to and including seq.
+// Acks are unsequenced and cross the faulty wire like any other message; a
+// lost ack is recovered by the sender's retransmit provoking a re-ack.
+func (p *Proc) sendAck(dst int, seq int64) {
+	p.world.transmit(dst, message{src: p.rank, tag: tagAck, a: seq})
+}
+
+// handleAck releases every pending send up to the cumulative ack point. The
+// stall latch only clears when the ack made progress — empty prefix re-acks
+// stream in constantly on a dead link and must not reset it.
+func (p *Proc) handleAck(src int, upto int64) {
+	p.lastActivity = time.Now()
+	l := &p.sendLinks[src]
+	released := false
+	l.mu.Lock()
+	for seq := range l.unacked {
+		if seq <= upto {
+			delete(l.unacked, seq)
+			released = true
+		}
+	}
+	l.mu.Unlock()
+	if released {
+		p.stalled = false
+	}
+}
+
+// retransmit resends every unacked message older than the world's RTO.
+func (p *Proc) retransmit() {
+	now := time.Now()
+	rto := p.world.rto
+	for dst := range p.sendLinks {
+		if dst == p.rank {
+			continue
+		}
+		l := &p.sendLinks[dst]
+		var resend []message
+		l.mu.Lock()
+		for _, ps := range l.unacked {
+			if now.Sub(ps.last) >= rto {
+				ps.last = now
+				ps.tries++
+				resend = append(resend, ps.msg)
+			}
+		}
+		l.mu.Unlock()
+		for _, m := range resend {
+			p.world.transmit(dst, m)
+		}
+	}
+}
+
+// dispatch processes one in-order message; returns true on termination.
 func (p *Proc) dispatch(m message) bool {
 	switch m.tag {
 	case tagProbe:
@@ -217,14 +422,29 @@ func (p *Proc) dispatch(m message) bool {
 	case tagReply:
 		p.collectReply(m.a, m.b)
 	case tagTerminate:
-		if p.onTerminate != nil {
-			p.onTerminate()
+		if !p.terminated {
+			p.terminated = true
+			if p.onTerminate != nil {
+				p.onTerminate()
+			}
 		}
 		return true
+	case tagAbort:
+		if p.onAbort != nil {
+			p.onAbort(m.src, string(m.payload))
+		}
 	default:
 		h := p.handlers[m.tag]
 		if h == nil {
-			panic(fmt.Sprintf("comm: rank %d: no handler for tag %d", p.rank, m.tag))
+			// A remote-supplied tag must not be able to kill this rank's
+			// progress goroutine: count the message (the wave needs it),
+			// drop it, and surface the problem through the error hook.
+			p.dropped++
+			p.det.MsgRecvd()
+			if p.onError != nil {
+				p.onError(fmt.Errorf("comm: rank %d: dropped message from rank %d with unknown tag %d", p.rank, m.src, m.tag))
+			}
+			return false
 		}
 		h(m.src, m.payload)
 		p.det.MsgRecvd()

@@ -196,17 +196,44 @@ func TestApplicationSendWithReservedTagPanics(t *testing.T) {
 	h.waitAll(t)
 }
 
-func TestUnknownTagPanicsInProgress(t *testing.T) {
-	// A message for an unregistered tag must be loudly rejected, not
-	// silently dropped. The panic happens on the progress goroutine; we
-	// detect it by the rank never handling the message.
-	p := &Proc{handlers: map[int]Handler{}}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("dispatch of unknown tag did not panic")
+func TestUnknownTagInvokesOnErrorAndTerminates(t *testing.T) {
+	// A message for an unregistered tag is remote-supplied input: it must
+	// not kill the receiving rank's progress goroutine. Instead the OnError
+	// hook fires, the message is dropped, and — because the drop is still
+	// counted as a receipt — the termination wave completes normally.
+	h := newHarness(2)
+	errs := make(chan error, 1)
+	h.world.Proc(1).SetOnError(func(err error) {
+		select {
+		case errs <- err:
+		default:
 		}
-	}()
-	p.dispatch(message{src: 0, tag: 5})
+	})
+	h.dets[0].Discovered(termdet.ExternalSlot)
+	h.start()
+	h.world.Proc(0).Send(1, 42, []byte("who handles this?"))
+	h.dets[0].Completed(termdet.ExternalSlot)
+	h.waitAll(t)
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Fatal("OnError invoked with nil error")
+		}
+	default:
+		t.Fatal("OnError hook was not invoked for an unknown tag")
+	}
+}
+
+func TestUnknownTagWithoutHookStillTerminates(t *testing.T) {
+	// Even without an OnError hook, an unknown tag must only drop the
+	// message (counted), never panic the progress goroutine or stall the
+	// wave.
+	h := newHarness(2)
+	h.dets[0].Discovered(termdet.ExternalSlot)
+	h.start()
+	h.world.Proc(0).Send(1, 99, nil)
+	h.dets[0].Completed(termdet.ExternalSlot)
+	h.waitAll(t)
 }
 
 func TestWorldSizeValidation(t *testing.T) {

@@ -1,0 +1,251 @@
+package comm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FaultPlan describes randomized faults injected into every cross-rank
+// transmission (application payloads, wave control, and acks alike).
+// Probabilities are independent per transmission; retransmissions roll
+// again. Self-sends (src == dst) are never faulted.
+type FaultPlan struct {
+	Seed     uint64        // RNG seed; 0 is replaced with 1
+	Drop     float64       // probability a transmission is lost
+	Dup      float64       // probability a transmission is delivered twice
+	Reorder  float64       // probability a transmission is held back briefly, letting later sends pass it
+	Delay    float64       // probability of an additional random delay of up to MaxDelay
+	MaxDelay time.Duration // bound for Delay faults (default 1ms)
+}
+
+// sendLink is the reliable link layer's per-destination sender state.
+type sendLink struct {
+	mu      sync.Mutex
+	nextSeq int64
+	unacked map[int64]*pendingSend
+}
+
+type pendingSend struct {
+	msg   message
+	born  time.Time // first transmission (stall detection)
+	last  time.Time // last transmission attempt
+	tries int
+}
+
+// recvLink is the per-source receiver state (progress-goroutine-private).
+type recvLink struct {
+	expected int64 // next in-order sequence number wanted
+	ooo      map[int64]message
+}
+
+// SetFaultPlan installs a fault plan on the wire and engages the reliable
+// link layer (sequence numbers, cumulative acks, retransmission) on every
+// rank. Must be called after NewWorld and before any Proc is started.
+func (w *World) SetFaultPlan(fp FaultPlan) {
+	if w.started.Load() {
+		panic("comm: SetFaultPlan after Start")
+	}
+	if fp.Seed == 0 {
+		fp.Seed = 1
+	}
+	if fp.MaxDelay <= 0 {
+		fp.MaxDelay = time.Millisecond
+	}
+	w.fp = &fp
+	w.rngState = fp.Seed
+	w.reliable = true
+}
+
+// SetDropFilter installs a deterministic drop predicate consulted for every
+// transmission (including retransmissions and acks); returning true drops
+// that transmission. It engages the reliable link layer, making it the tool
+// for scripted-loss tests ("drop the first tagTerminate on link 0→1").
+// Composable with a FaultPlan. Must be called before any Proc is started.
+func (w *World) SetDropFilter(f func(src, dst, tag int) bool) {
+	if w.started.Load() {
+		panic("comm: SetDropFilter after Start")
+	}
+	w.dropF = f
+	w.reliable = true
+}
+
+// SetRetransmitTimeout adjusts the link layer's retransmission timeout
+// (default 2ms; the retransmit ticker runs at half of it). Must be called
+// before any Proc is started.
+func (w *World) SetRetransmitTimeout(d time.Duration) {
+	if w.started.Load() {
+		panic("comm: SetRetransmitTimeout after Start")
+	}
+	if d <= 0 {
+		panic("comm: retransmit timeout must be positive")
+	}
+	w.rto = d
+}
+
+// SetStallHandler installs a watchdog: when a rank with the link layer
+// active sees no inbound traffic for `after` while still holding undelivered
+// or unacked messages, f fires once (per stall episode) with that rank's
+// PendingSummary — surfacing a diagnostic instead of hanging silently.
+// Must be called before any Proc is started.
+func (w *World) SetStallHandler(after time.Duration, f func(rank int, summary string)) {
+	if w.started.Load() {
+		panic("comm: SetStallHandler after Start")
+	}
+	w.stallAfter = after
+	w.onStall = f
+}
+
+// rng is a locked splitmix64 shared by all links so fault decisions are a
+// deterministic function of the seed and the global transmission order.
+func (w *World) rng() uint64 {
+	w.rngMu.Lock()
+	w.rngState += 0x9e3779b97f4a7c15
+	z := w.rngState
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	w.rngMu.Unlock()
+	return z
+}
+
+// roll returns a uniform float64 in [0, 1).
+func (w *World) roll() float64 { return float64(w.rng()>>11) / (1 << 53) }
+
+// transmit is the wire: it applies the drop filter and fault plan to one
+// transmission and (maybe, maybe twice, maybe late) delivers it into the
+// destination mailbox. Called for originals, retransmissions, and acks.
+func (w *World) transmit(dst int, m message) {
+	if w.dropF != nil && w.dropF(m.src, dst, m.tag) {
+		return
+	}
+	fp := w.fp
+	box := w.procs[dst].mbox
+	if fp == nil {
+		box.push(m)
+		return
+	}
+	if fp.Drop > 0 && w.roll() < fp.Drop {
+		return
+	}
+	if fp.Dup > 0 && w.roll() < fp.Dup {
+		box.push(m)
+	}
+	var delay time.Duration
+	if fp.Reorder > 0 && w.roll() < fp.Reorder {
+		// Hold the message back just long enough for later sends to pass.
+		delay += time.Duration(50+w.rng()%450) * time.Microsecond
+	}
+	if fp.Delay > 0 && w.roll() < fp.Delay {
+		delay += time.Duration(w.rng() % uint64(fp.MaxDelay))
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, func() { box.push(m) })
+		return
+	}
+	box.push(m)
+}
+
+// checkStall runs on the progress goroutine's retransmit tick. A stall is a
+// lack of *progress*, not of traffic: a dead link still exchanges
+// retransmissions and prefix re-acks forever, so the primary signal is a
+// send that has stayed unacked past the threshold since it was first posted.
+// Receive-side silence while out-of-order messages sit buffered is the
+// complementary signal.
+func (p *Proc) checkStall() {
+	w := p.world
+	if w.onStall == nil || w.stallAfter <= 0 || p.terminated || p.stalled {
+		return
+	}
+	now := time.Now()
+	stuck := false
+	for i := range p.sendLinks {
+		l := &p.sendLinks[i]
+		l.mu.Lock()
+		for _, ps := range l.unacked {
+			if now.Sub(ps.born) >= w.stallAfter {
+				stuck = true
+				break
+			}
+		}
+		l.mu.Unlock()
+		if stuck {
+			break
+		}
+	}
+	if !stuck && now.Sub(p.lastActivity) >= w.stallAfter && p.outstanding() {
+		stuck = true
+	}
+	if !stuck {
+		return
+	}
+	p.stalled = true // latched until an ack or in-order delivery arrives
+	w.onStall(p.rank, p.PendingSummary())
+}
+
+// outstanding reports whether this rank holds unacked sends or buffered
+// out-of-order receives — the states a stall can hide in.
+func (p *Proc) outstanding() bool {
+	for i := range p.sendLinks {
+		l := &p.sendLinks[i]
+		l.mu.Lock()
+		n := len(l.unacked)
+		l.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	for i := range p.recvLinks {
+		if len(p.recvLinks[i].ooo) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// PendingSummary describes this rank's link-layer and detector state for
+// hang diagnosis: per-link unacked sends, out-of-order receive buffers, and
+// the termination counters. Intended to be read from the stall handler (it
+// runs on the rank's own progress goroutine) or after Shutdown; concurrent
+// use while the rank is live may observe torn receiver state.
+func (p *Proc) PendingSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rank %d:", p.rank)
+	if p.det != nil {
+		fmt.Fprintf(&b, " %s;", p.det.DebugString())
+	}
+	if p.dropped > 0 {
+		fmt.Fprintf(&b, " dropped %d unknown-tag message(s);", p.dropped)
+	}
+	clean := true
+	for dst := range p.sendLinks {
+		l := &p.sendLinks[dst]
+		l.mu.Lock()
+		n := len(l.unacked)
+		var oldest int
+		for _, ps := range l.unacked {
+			if ps.tries > oldest {
+				oldest = ps.tries
+			}
+		}
+		l.mu.Unlock()
+		if n > 0 {
+			clean = false
+			fmt.Fprintf(&b, "\n  ->%d: %d unacked send(s), max %d attempt(s)", dst, n, oldest)
+		}
+	}
+	for src := range p.recvLinks {
+		l := &p.recvLinks[src]
+		if len(l.ooo) > 0 {
+			clean = false
+			fmt.Fprintf(&b, "\n  <-%d: %d out-of-order message(s) buffered, waiting for seq %d", src, len(l.ooo), l.expected)
+		}
+	}
+	if clean {
+		b.WriteString(" all links clean")
+	}
+	return b.String()
+}

@@ -1,0 +1,269 @@
+package comm
+
+import (
+	"encoding/binary"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gottg/internal/termdet"
+)
+
+// faultPlanHeavy is the acceptance-criteria plan: >=10% drop plus
+// duplication and reordering on every link.
+func faultPlanHeavy(seed uint64) FaultPlan {
+	return FaultPlan{
+		Seed:    seed,
+		Drop:    0.15,
+		Dup:     0.10,
+		Reorder: 0.25,
+		Delay:   0.10,
+	}
+}
+
+func TestRingRelaySurvivesFaults(t *testing.T) {
+	// The ring-relay workload under a heavy fault plan: every hop's message
+	// can be dropped, duplicated, or reordered, yet the ack/retransmit link
+	// layer must deliver each exactly once and the wave must terminate.
+	const n = 4
+	const hops = 60
+	h := newHarness(n)
+	h.world.SetFaultPlan(faultPlanHeavy(42))
+	h.world.SetRetransmitTimeout(time.Millisecond)
+	var handled atomic.Int64
+	for i := 0; i < n; i++ {
+		i := i
+		h.world.Proc(i).Register(0, func(src int, payload []byte) {
+			handled.Add(1)
+			left := binary.LittleEndian.Uint32(payload)
+			if left == 0 {
+				return
+			}
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], left-1)
+			h.world.Proc(i).Send((i+1)%n, 0, buf[:])
+		})
+	}
+	h.dets[0].Discovered(termdet.ExternalSlot)
+	h.start()
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], hops)
+	h.world.Proc(0).Send(1, 0, buf[:])
+	h.dets[0].Completed(termdet.ExternalSlot)
+	h.waitAll(t)
+	if got := handled.Load(); got != hops+1 {
+		t.Fatalf("handled %d messages, want %d (dup leaked through or message lost)", got, hops+1)
+	}
+}
+
+func TestPerSenderFIFOSurvivesReordering(t *testing.T) {
+	// The wire reorders aggressively; the sequence-number layer must
+	// restore per-link FIFO before dispatch.
+	const msgs = 200
+	h := newHarness(2)
+	h.world.SetFaultPlan(FaultPlan{Seed: 7, Reorder: 0.5, Dup: 0.2, Drop: 0.1})
+	h.world.SetRetransmitTimeout(time.Millisecond)
+	var last int32 = -1
+	var outOfOrder atomic.Int64
+	h.world.Proc(1).Register(0, func(src int, payload []byte) {
+		v := int32(binary.LittleEndian.Uint32(payload))
+		if v != last+1 {
+			outOfOrder.Add(1)
+		}
+		last = v
+	})
+	h.dets[0].Discovered(termdet.ExternalSlot)
+	h.start()
+	for i := 0; i < msgs; i++ {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], uint32(i))
+		h.world.Proc(0).Send(1, 0, buf[:])
+	}
+	h.dets[0].Completed(termdet.ExternalSlot)
+	h.waitAll(t)
+	if outOfOrder.Load() != 0 {
+		t.Fatalf("%d messages dispatched out of order", outOfOrder.Load())
+	}
+	if last != msgs-1 {
+		t.Fatalf("last = %d, want %d", last, msgs-1)
+	}
+}
+
+func TestScatterChainsSurviveFaults(t *testing.T) {
+	// The wave-stressing scatter workload from comm_test.go, now over a
+	// faulty wire: exactly-once dispatch must keep the handled count exact.
+	const n = 5
+	const seeds = 15
+	h := newHarness(n)
+	h.world.SetFaultPlan(faultPlanHeavy(1234))
+	h.world.SetRetransmitTimeout(time.Millisecond)
+	var handled atomic.Int64
+	for i := 0; i < n; i++ {
+		i := i
+		h.world.Proc(i).Register(0, func(src int, payload []byte) {
+			handled.Add(1)
+			hops := binary.LittleEndian.Uint32(payload)
+			if hops == 0 {
+				return
+			}
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], hops/2)
+			h.world.Proc(i).Send(int(hops)%n, 0, buf[:])
+			h.world.Proc(i).Send(int(hops+1)%n, 0, buf[:])
+		})
+	}
+	h.dets[0].Discovered(termdet.ExternalSlot)
+	h.start()
+	expected := int64(0)
+	var count func(hops uint32) int64
+	count = func(hops uint32) int64 {
+		if hops == 0 {
+			return 1
+		}
+		return 1 + 2*count(hops/2)
+	}
+	for s := 0; s < seeds; s++ {
+		hops := uint32(s % 13)
+		expected += count(hops)
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], hops)
+		h.world.Proc(0).Send(s%n, 0, buf[:])
+	}
+	h.dets[0].Completed(termdet.ExternalSlot)
+	h.waitAll(t)
+	if handled.Load() != expected {
+		t.Fatalf("handled %d messages, want %d", handled.Load(), expected)
+	}
+}
+
+func TestLostTerminateIsRetransmitted(t *testing.T) {
+	// The scenario that deadlocks the unprotected protocol: the root's
+	// tagTerminate to rank 1 is lost. With the link layer active, the root
+	// retransmits until acked, so rank 1 still observes termination instead
+	// of hanging forever.
+	h := newHarness(3)
+	var dropsLeft atomic.Int32
+	dropsLeft.Store(1)
+	h.world.SetDropFilter(func(src, dst, tag int) bool {
+		return src == 0 && dst == 1 && tag == tagTerminate &&
+			dropsLeft.Add(-1) >= 0
+	})
+	h.world.SetRetransmitTimeout(time.Millisecond)
+	h.dets[0].Discovered(termdet.ExternalSlot)
+	h.start()
+	h.dets[0].Completed(termdet.ExternalSlot)
+	h.waitAll(t)
+	if dropsLeft.Load() > 0 {
+		t.Fatal("the scripted tagTerminate drop never triggered")
+	}
+}
+
+func TestLostProbeAndReplyAreRetransmitted(t *testing.T) {
+	// Same idea for the other wave messages: the first probe to rank 1 and
+	// the first reply from rank 2 are lost; retransmission must still
+	// complete the reduction.
+	h := newHarness(3)
+	var probeDrops, replyDrops atomic.Int32
+	probeDrops.Store(1)
+	replyDrops.Store(1)
+	h.world.SetDropFilter(func(src, dst, tag int) bool {
+		if src == 0 && dst == 1 && tag == tagProbe && probeDrops.Add(-1) >= 0 {
+			return true
+		}
+		return src == 2 && dst == 0 && tag == tagReply && replyDrops.Add(-1) >= 0
+	})
+	h.world.SetRetransmitTimeout(time.Millisecond)
+	h.dets[0].Discovered(termdet.ExternalSlot)
+	h.start()
+	h.dets[0].Completed(termdet.ExternalSlot)
+	h.waitAll(t)
+}
+
+func TestStallWatchdogSurfacesDiagnostics(t *testing.T) {
+	// A link that permanently eats rank 0's application sends to rank 1 can
+	// never terminate (sent != received forever). The watchdog must surface
+	// the unacked-send diagnostic instead of letting the test hang.
+	h := newHarness(2)
+	h.world.SetDropFilter(func(src, dst, tag int) bool {
+		return src == 0 && dst == 1 && tag >= 0
+	})
+	h.world.SetRetransmitTimeout(time.Millisecond)
+	stalls := make(chan string, 2)
+	h.world.SetStallHandler(20*time.Millisecond, func(rank int, summary string) {
+		select {
+		case stalls <- summary:
+		default:
+		}
+	})
+	h.world.Proc(1).Register(0, func(int, []byte) {})
+	h.dets[0].Discovered(termdet.ExternalSlot)
+	h.start()
+	h.world.Proc(0).Send(1, 0, []byte("black hole"))
+	h.dets[0].Completed(termdet.ExternalSlot)
+	select {
+	case summary := <-stalls:
+		if !strings.Contains(summary, "unacked") {
+			t.Fatalf("stall summary does not mention unacked sends:\n%s", summary)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stall watchdog never fired on a dead link")
+	}
+	h.world.Shutdown()
+}
+
+func TestAbortBroadcastReachesAllRanks(t *testing.T) {
+	// Proc.Abort must reach every other rank exactly once per sender, even
+	// over a faulty wire.
+	const n = 4
+	h := newHarness(n)
+	h.world.SetFaultPlan(faultPlanHeavy(5))
+	h.world.SetRetransmitTimeout(time.Millisecond)
+	aborts := make([]atomic.Int32, n)
+	for i := 0; i < n; i++ {
+		i := i
+		h.world.Proc(i).SetOnAbort(func(src int, reason string) {
+			if reason != "boom" {
+				t.Errorf("rank %d: abort reason %q, want %q", i, reason, "boom")
+			}
+			aborts[i].Add(1)
+		})
+	}
+	h.dets[0].Discovered(termdet.ExternalSlot)
+	h.start()
+	h.world.Proc(2).Abort("boom")
+	h.dets[0].Completed(termdet.ExternalSlot)
+	h.waitAll(t)
+	for i := 0; i < n; i++ {
+		want := int32(1)
+		if i == 2 {
+			want = 0 // the aborter does not notify itself
+		}
+		if got := aborts[i].Load(); got != want {
+			t.Fatalf("rank %d saw %d abort notifications, want %d", i, got, want)
+		}
+	}
+}
+
+func TestFaultConfigAfterStartPanics(t *testing.T) {
+	h := newHarness(1)
+	h.dets[0].Discovered(termdet.ExternalSlot)
+	h.start()
+	for name, f := range map[string]func(){
+		"SetFaultPlan":         func() { h.world.SetFaultPlan(FaultPlan{}) },
+		"SetDropFilter":        func() { h.world.SetDropFilter(func(int, int, int) bool { return false }) },
+		"SetRetransmitTimeout": func() { h.world.SetRetransmitTimeout(time.Millisecond) },
+		"SetStallHandler":      func() { h.world.SetStallHandler(time.Second, func(int, string) {}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s after Start did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+	h.dets[0].Completed(termdet.ExternalSlot)
+	h.waitAll(t)
+}

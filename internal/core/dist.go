@@ -47,6 +47,9 @@ func (g *Graph) remoteSend(w *rt.Worker, tt *TT, slot int, key uint64, c *rt.Cop
 // handleActivation runs on the communication progress goroutine (service
 // worker 1): decode and deliver locally.
 func (g *Graph) handleActivation(src int, payload []byte) {
+	if g.rtm.Aborting() {
+		return // abort drain: skip the decode; comm still counts the receipt
+	}
 	hasPayload := payload[0] == 1
 	ttID := binary.LittleEndian.Uint32(payload[1:])
 	slot := int(binary.LittleEndian.Uint32(payload[5:]))
@@ -58,7 +61,10 @@ func (g *Graph) handleActivation(src int, payload []byte) {
 		dec := gob.NewDecoder(bytes.NewReader(payload[17:]))
 		var v any
 		if err := dec.Decode(&v); err != nil {
-			panic(fmt.Sprintf("ttg: cannot deserialize payload for %s: %v", tt.name, err))
+			// Remote-supplied bytes must not be able to kill the progress
+			// goroutine: a malformed payload aborts the graph instead.
+			g.rtm.Abort(fmt.Errorf("ttg: cannot deserialize payload for %s from rank %d: %v", tt.name, src, err))
+			return
 		}
 		c = cw.NewCopy(v)
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"gottg/internal/comm"
@@ -30,7 +32,13 @@ type Graph struct {
 	tts []*TT
 
 	frozen bool
-	waited bool
+
+	// waitCalled guards against double Wait; endOnce makes the seed-guard
+	// release (EndAction) safe under concurrent/repeated Wait and WaitFor
+	// callers; sweepOnce spawns the abort sweeper at most once.
+	waitCalled atomic.Bool
+	endOnce    sync.Once
+	sweepOnce  sync.Once
 
 	// distributed state (size == 1 means purely shared-memory)
 	proc *comm.Proc
@@ -40,7 +48,9 @@ type Graph struct {
 
 // New creates a shared-memory graph with its own runtime.
 func New(cfg rt.Config) *Graph {
-	return &Graph{cfg: cfg.Normalize(), rtm: rt.New(cfg), size: 1}
+	g := &Graph{cfg: cfg.Normalize(), rtm: rt.New(cfg), size: 1}
+	g.installFaultHooks()
+	return g
 }
 
 // NewDistributed creates the local-rank replica of a distributed graph. The
@@ -48,13 +58,15 @@ func New(cfg rt.Config) *Graph {
 // be started yet; MakeExecutable starts it. Every rank builds the same
 // topology (SPMD) and TTs use WithMapper to partition keys.
 func NewDistributed(cfg rt.Config, proc *comm.Proc) *Graph {
-	return &Graph{
+	g := &Graph{
 		cfg:  cfg.Normalize(),
 		rtm:  rt.New(cfg),
 		proc: proc,
 		rank: proc.Rank(),
 		size: proc.Size(),
 	}
+	g.installFaultHooks()
+	return g
 }
 
 // Runtime exposes the underlying runtime (stats, configuration).
@@ -114,11 +126,19 @@ func (g *Graph) MakeExecutable() {
 	g.rtm.BeginAction() // seed guard, released by Wait
 	if g.size > 1 {
 		g.proc.Register(activationTag, g.handleActivation)
+		g.proc.SetOnAbort(func(src int, reason string) {
+			g.rtm.Abort(fmt.Errorf("ttg: aborted by rank %d: %s", src, reason))
+		})
+		g.proc.SetOnError(func(err error) { g.rtm.Abort(err) })
 		g.proc.Start(g.rtm.Det, func() { g.rtm.SignalDone() })
 		g.rtm.Start(true)
-		return
+	} else {
+		g.rtm.Start(false)
 	}
-	g.rtm.Start(false)
+	if g.rtm.Aborting() {
+		// Aborted during construction: there are hash tables to sweep now.
+		g.startSweeper()
+	}
 }
 
 // Invoke seeds the task for key on tt's input terminal 0 with value v.
@@ -143,6 +163,15 @@ func (g *Graph) seed(tt *TT, slot int, key uint64, c *rt.Copy) {
 	if !g.frozen {
 		panic("ttg: Invoke before MakeExecutable")
 	}
+	sw := g.rtm.ServiceWorker(0)
+	if g.rtm.Aborting() {
+		// Seeds racing an abort are dropped silently: the abort is reported
+		// through Wait, crashing the seeding loop would only obscure it.
+		if c != nil {
+			c.Release(sw)
+		}
+		return
+	}
 	select {
 	case <-g.rtm.Done():
 		panic("ttg: Invoke after graph termination")
@@ -150,7 +179,6 @@ func (g *Graph) seed(tt *TT, slot int, key uint64, c *rt.Copy) {
 	}
 	// Seeding after a timed-out WaitFor is allowed: the graph is still
 	// running (it has pending tasks), so termination cannot race the seed.
-	sw := g.rtm.ServiceWorker(0)
 	if g.size > 1 && tt.mapFn != nil && tt.mapFn(key) != g.rank {
 		if c != nil {
 			c.Release(sw) // another rank owns this seed
@@ -161,17 +189,25 @@ func (g *Graph) seed(tt *TT, slot int, key uint64, c *rt.Copy) {
 }
 
 // Wait releases the seed guard and blocks until termination of the whole
-// graph (all ranks, in distributed mode). It may be called once.
-func (g *Graph) Wait() {
+// graph (all ranks, in distributed mode), then returns the first task error
+// — nil on a clean run, a *rt.TaskError when a body panicked, or whatever
+// error Abort was called with. It may be called once (WaitFor may precede
+// it).
+func (g *Graph) Wait() error {
 	if !g.frozen {
 		panic("ttg: Wait before MakeExecutable")
 	}
-	if g.waited {
+	if !g.waitCalled.CompareAndSwap(false, true) {
 		panic("ttg: Wait called twice")
 	}
-	g.waited = true
-	g.rtm.EndAction()
+	g.endSeed()
 	g.rtm.WaitDone()
+	return g.rtm.Err()
+}
+
+// endSeed releases the seed guard exactly once, however many waiters race.
+func (g *Graph) endSeed() {
+	g.endOnce.Do(g.rtm.EndAction)
 }
 
 // Dot renders the template task graph (TTs and edge wiring, not the
@@ -267,23 +303,25 @@ func (g *Graph) PendingSummary() string {
 	return b.String()
 }
 
-// WaitFor is Wait with a deadline: it returns nil on termination, or an
-// error carrying the pending-task summary if the graph has not completed
-// within d. The graph keeps running after a timeout; call WaitFor (or
-// WaitForever via another WaitFor) again to continue waiting.
+// WaitFor is Wait with a deadline: it returns nil on clean termination, the
+// first task error if the graph terminated by abort, or a timeout error
+// carrying the pending-task summary if the graph has not completed within
+// d. The graph keeps running after a timeout; call WaitFor (or Wait) again
+// to continue waiting. Safe for concurrent and repeated callers: the seed
+// guard is released exactly once and the poll timer is stopped on exit
+// rather than leaked.
 func (g *Graph) WaitFor(d time.Duration) error {
 	if !g.frozen {
 		panic("ttg: WaitFor before MakeExecutable")
 	}
-	if !g.waited {
-		g.waited = true
-		g.rtm.EndAction()
-	}
+	g.endSeed()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
 	select {
 	case <-g.rtm.Done():
 		g.rtm.WaitDone()
-		return nil
-	case <-time.After(d):
+		return g.rtm.Err()
+	case <-timer.C:
 		return fmt.Errorf("ttg: graph not terminated after %v; incomplete tasks:\n%s", d, g.PendingSummary())
 	}
 }

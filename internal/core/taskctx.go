@@ -48,6 +48,15 @@ func (tc TaskContext) Aggregate(slot int) *Aggregate {
 	return tc.t.Input(slot).Val.(*Aggregate)
 }
 
+// Abort aborts the executing graph with err: no further task bodies run,
+// in-flight sends are dropped, and Wait returns the first recorded error.
+// The body should return promptly after calling it.
+func (tc TaskContext) Abort(err error) { tc.tt.g.Abort(err) }
+
+// Aborting reports whether the graph is aborting — long-running bodies can
+// poll it to stop early instead of wasting work.
+func (tc TaskContext) Aborting() bool { return tc.tt.g.rtm.Aborting() }
+
 // edgeFor validates and resolves an output terminal.
 func (tc TaskContext) edgeFor(term int) *Edge {
 	e := tc.tt.outs[term]

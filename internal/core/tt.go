@@ -205,6 +205,14 @@ func ttExecute(w *rt.Worker, t *rt.Task) {
 // the pending task found or created, the datum attached, and the dependence
 // counter decremented — task becomes eligible at zero.
 func (g *Graph) deliver(w *rt.Worker, d dest, key uint64, c *rt.Copy, owned bool) {
+	if g.rtm.Aborting() {
+		// Abort drain: in-flight sends are dropped (local and remote alike).
+		// Tasks already tabled are reclaimed by the abort sweeper.
+		if c != nil && owned {
+			c.Release(w)
+		}
+		return
+	}
 	tt := d.tt
 	if g.size > 1 && tt.mapFn != nil {
 		if r := tt.mapFn(key); r != g.rank {

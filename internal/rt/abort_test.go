@@ -1,0 +1,240 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// namedTT is a minimal frontend descriptor for TaskError naming.
+type namedTT struct{ name string }
+
+func (n *namedTT) Name() string { return n.name }
+
+func TestPanicBecomesTaskError(t *testing.T) {
+	// One task out of many panics; the runtime must abort, drain, reach
+	// quiescence, and report a structured TaskError — with no leaked task or
+	// copy objects.
+	for _, sched := range []SchedKind{SchedLLP, SchedLFQ, SchedLL} {
+		for _, tl := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%v/tl=%v", sched, tl), func(t *testing.T) {
+				cfg := Config{Workers: 4, Sched: sched, ThreadLocalTermDet: tl, UsePools: true}.Normalize()
+				r := New(cfg)
+				tt := &namedTT{name: "victim"}
+				const n = 2000
+				const badKey = 1234
+				// The epilogue is plain code after the body logic (as in
+				// core's ttExecute) — a panic unwinds past it, and the
+				// runtime's discard takes over the cleanup + accounting.
+				exec := func(w *Worker, tk *Task) {
+					if tk.Key() == badKey {
+						panic("intentional test panic")
+					}
+					for i := 0; i < tk.NumInputs(); i++ {
+						if c := tk.Input(i); c != nil {
+							c.Release(w)
+						}
+					}
+					w.Completed()
+					w.FreeTask(tk)
+				}
+				r.BeginAction()
+				r.Start(false)
+				sw := r.ServiceWorker(0)
+				for i := 0; i < n; i++ {
+					tk := sw.NewTask()
+					tk.Exec = exec
+					tk.TT = tt
+					tk.SetKey(uint64(i))
+					tk.SetNumInputs(1)
+					tk.SetInput(0, sw.NewCopy(i))
+					r.BeginAction()
+					r.Inject(tk)
+				}
+				r.EndAction()
+				r.WaitDone()
+
+				err := r.Err()
+				if err == nil {
+					t.Fatal("Err() == nil after a task panic")
+				}
+				var te *TaskError
+				if !errors.As(err, &te) {
+					t.Fatalf("Err() = %v (%T), want *TaskError", err, err)
+				}
+				if te.TTName != "victim" || te.Key != badKey {
+					t.Fatalf("TaskError names %s(key=%#x), want victim(key=%#x)", te.TTName, te.Key, badKey)
+				}
+				if len(te.Stack) == 0 {
+					t.Fatal("TaskError carries no stack trace")
+				}
+				if !strings.Contains(err.Error(), "victim") || !strings.Contains(err.Error(), "intentional test panic") {
+					t.Fatalf("error text %q lacks TT name or panic value", err.Error())
+				}
+				if got, put := r.TaskBalance(); got != put {
+					t.Fatalf("task leak: got %d, put %d", got, put)
+				}
+				if got, put := r.CopyBalance(); got != put {
+					t.Fatalf("copy leak: got %d, put %d", got, put)
+				}
+				var panics int64
+				for _, w := range r.Workers() {
+					panics += w.Stats.Panics
+				}
+				if panics != 1 {
+					t.Fatalf("recorded %d panics, want 1", panics)
+				}
+			})
+		}
+	}
+}
+
+func TestAbortDrainsWithoutExecuting(t *testing.T) {
+	// After Abort, workers discard what they dequeue: completions are still
+	// accounted (quiescence fires) but bodies do not run.
+	cfg := Config{Workers: 2, UsePools: true}.Normalize()
+	r := New(cfg)
+	bodyRan := atomic.Int64{}
+	exec := func(w *Worker, tk *Task) {
+		bodyRan.Add(1)
+		w.Completed()
+		w.FreeTask(tk)
+	}
+	r.BeginAction()
+	r.Start(false)
+	cause := errors.New("operator says stop")
+	r.Abort(cause)
+	sw := r.ServiceWorker(0)
+	const n = 512
+	for i := 0; i < n; i++ {
+		tk := sw.NewTask()
+		tk.Exec = exec
+		tk.SetNumInputs(1)
+		tk.SetInput(0, sw.NewCopy(i))
+		r.BeginAction()
+		r.Inject(tk)
+	}
+	r.EndAction()
+	r.WaitDone()
+	if bodyRan.Load() != 0 {
+		t.Fatalf("%d task bodies ran after Abort", bodyRan.Load())
+	}
+	if err := r.Err(); !errors.Is(err, cause) {
+		t.Fatalf("Err() = %v, want %v", err, cause)
+	}
+	var discarded int64
+	for _, w := range r.Workers() {
+		discarded += w.Stats.Discarded
+	}
+	if discarded != n {
+		t.Fatalf("discarded %d tasks, want %d", discarded, n)
+	}
+	if got, put := r.TaskBalance(); got != put {
+		t.Fatalf("task leak: got %d, put %d", got, put)
+	}
+	if got, put := r.CopyBalance(); got != put {
+		t.Fatalf("copy leak: got %d, put %d", got, put)
+	}
+}
+
+func TestAbortFirstErrorWinsAndHookFiresOnce(t *testing.T) {
+	r := New(Config{Workers: 1}.Normalize())
+	var hookCalls atomic.Int64
+	var hookErr error
+	r.SetOnAbort(func(err error) {
+		hookCalls.Add(1)
+		hookErr = err
+	})
+	first := errors.New("first")
+	r.Abort(first)
+	r.Abort(errors.New("second"))
+	r.Abort(nil)
+	if !r.Aborting() {
+		t.Fatal("Aborting() false after Abort")
+	}
+	if r.Err() != first {
+		t.Fatalf("Err() = %v, want the first error", r.Err())
+	}
+	if hookCalls.Load() != 1 {
+		t.Fatalf("abort hook fired %d times, want 1", hookCalls.Load())
+	}
+	if hookErr != first {
+		t.Fatalf("abort hook saw %v, want the first error", hookErr)
+	}
+}
+
+func TestDiscardRespectsMovedInputFlags(t *testing.T) {
+	// The default discard path must not release inputs whose reference was
+	// moved into the body's ownership already (Flags bit set) — mirroring the
+	// executed-path convention.
+	cfg := Config{Workers: 1, UsePools: true}.Normalize()
+	r := New(cfg)
+	sw := r.ServiceWorker(0)
+	moved := sw.NewCopy("moved")
+	kept := sw.NewCopy("kept")
+	tk := sw.NewTask()
+	tk.SetNumInputs(2)
+	tk.SetInput(0, moved)
+	tk.SetInput(1, kept)
+	tk.Flags = 1 << 0 // slot 0 moved: discard must leave it alone
+	r.BeginAction()   // balanced by the Completed() the discard accounts
+	r.discard(sw, tk)
+	if kept.Refs() != 0 {
+		t.Fatalf("unmoved input still holds %d refs after discard", kept.Refs())
+	}
+	if moved.Refs() != 1 {
+		t.Fatalf("moved input refs = %d, want 1 (discard must not touch it)", moved.Refs())
+	}
+	moved.Release(sw)
+	if got, put := r.CopyBalance(); got != put {
+		t.Fatalf("copy leak: got %d, put %d", got, put)
+	}
+}
+
+func TestPanicInsideInlinedTask(t *testing.T) {
+	// TryInline routes through the same isolation: a panic in an inlined
+	// child must not unwind the parent worker loop.
+	cfg := Config{Workers: 1, InlineTasks: true, MaxInlineDepth: 4, UsePools: true}.Normalize()
+	r := New(cfg)
+	tt := &namedTT{name: "inline-victim"}
+	exec := func(w *Worker, tk *Task) {
+		if tk.Key() == 1 {
+			panic("inline panic")
+		}
+		child := w.NewTask()
+		child.Exec = tk.Exec
+		child.TT = tt
+		child.SetKey(1)
+		w.Discovered()
+		if !w.TryInline(child) {
+			w.Schedule(child)
+		}
+		w.Completed()
+		w.FreeTask(tk)
+	}
+	r.BeginAction()
+	r.Start(false)
+	root := &Task{Exec: exec, TT: tt}
+	r.BeginAction()
+	r.Inject(root)
+	r.EndAction()
+	r.WaitDone()
+	var te *TaskError
+	if err := r.Err(); !errors.As(err, &te) || te.Key != 1 {
+		t.Fatalf("Err() = %v, want a TaskError for key 1", r.Err())
+	}
+}
+
+func TestTaskErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("wrapped cause")
+	te := &TaskError{TTName: "x", Key: 7, Value: sentinel}
+	if !errors.Is(te, sentinel) {
+		t.Fatal("TaskError does not unwrap to the panic's error value")
+	}
+	plain := &TaskError{TTName: "x", Key: 7, Value: "just a string"}
+	if errors.Unwrap(plain) != nil {
+		t.Fatal("non-error panic value must not unwrap")
+	}
+}

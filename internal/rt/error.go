@@ -1,0 +1,39 @@
+package rt
+
+import "fmt"
+
+// TaskError is a task-body panic converted into a structured error: which
+// template task failed, for which key, the recovered panic value, and the
+// stack at the point of the panic. It is the error returned by the graph's
+// Wait after a body panics.
+type TaskError struct {
+	TTName string // template-task name ("?" when the frontend attaches none)
+	Key    uint64 // the failing task instance's key
+	Value  any    // the recovered panic value
+	Stack  []byte // goroutine stack captured at recovery
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("task %s(key=%#x) panicked: %v", e.TTName, e.Key, e.Value)
+}
+
+// Unwrap exposes the panic value when the body panicked with an error,
+// so errors.Is/As see through the TaskError wrapper.
+func (e *TaskError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// ttNamer lets the runtime name the template task in a TaskError without
+// depending on the frontend's concrete TT type.
+type ttNamer interface{ Name() string }
+
+func newTaskError(t *Task, v any, stack []byte) *TaskError {
+	name := "?"
+	if n, ok := t.TT.(ttNamer); ok {
+		name = n.Name()
+	}
+	return &TaskError{TTName: name, Key: t.Key(), Value: v, Stack: stack}
+}

@@ -21,13 +21,23 @@ type Runtime struct {
 	// discoveries/completions through Worker helpers or directly.
 	Det *termdet.Detector
 
-	service [2]*Worker
+	service [3]*Worker
 	trace   *tracer
 
 	done    atomic.Bool
 	doneCh  chan struct{}
 	started atomic.Bool
 	wg      sync.WaitGroup
+
+	// Fault-tolerance state. aborting flips once, on the first Abort; from
+	// then on workers discard dequeued tasks instead of executing them
+	// (still accounting completions so termination detection stays sound).
+	aborting  atomic.Bool
+	errMu     sync.Mutex
+	firstErr  error
+	abortOnce sync.Once
+	onAbort   func(error)
+	dropFn    ExecFn
 }
 
 // New builds a runtime with the given configuration (workers are not started
@@ -47,6 +57,8 @@ func New(cfg Config) *Runtime {
 		w.copies.owner = w
 		r.workers[i] = w
 	}
+	// Service identities: 0 = main goroutine, 1 = communication progress
+	// thread, 2 = the abort sweeper that discards tabled tasks.
 	for i := range r.service {
 		w := &Worker{ID: -1 - i, detSlot: termdet.ExternalSlot, htSlot: cfg.Workers + i,
 			rt: r, rngState: ^uint64(i) | 1, count: cfg.CountAtomics}
@@ -61,7 +73,8 @@ func New(cfg Config) *Runtime {
 // ServiceWorker returns one of the runtime's non-executing worker
 // identities: index 0 is reserved for the application's main goroutine
 // (graph construction and seeding), index 1 for the communication progress
-// thread. Each must be used by at most one goroutine at a time.
+// thread, index 2 for the abort sweeper. Each must be used by at most one
+// goroutine at a time.
 func (r *Runtime) ServiceWorker(i int) *Worker { return r.service[i] }
 
 // Config returns the runtime configuration.
@@ -145,6 +158,98 @@ func (r *Runtime) Stats() (exec, steals, parks int64) {
 		exec += w.Stats.Executed
 		steals += w.Stats.Steals
 		parks += w.Stats.Parks
+	}
+	return
+}
+
+// SetDropFn installs the frontend's task-discard routine, used to dispose
+// of tasks without running their bodies (abort drain, panic cleanup). The
+// routine must release the task's input copies and free the task, but must
+// NOT account a completion — the runtime does that itself, exactly once per
+// discarded task. Install before Start; without one, the runtime releases
+// the inputs of unmoved slots (per the Flags bitmask convention) directly.
+func (r *Runtime) SetDropFn(fn ExecFn) { r.dropFn = fn }
+
+// SetOnAbort installs a hook invoked exactly once, on the first Abort, with
+// the recorded error. Frontends use it to propagate the abort (sweep tabled
+// tasks, notify remote ranks). Install before Start.
+func (r *Runtime) SetOnAbort(f func(error)) { r.onAbort = f }
+
+// Abort records err (first one wins) and switches the runtime into drain
+// mode: workers stop executing task bodies and instead discard everything
+// they dequeue, still accounting each completion so the termination
+// detector reaches quiescence and WaitDone returns. Safe from any
+// goroutine, idempotent.
+func (r *Runtime) Abort(err error) {
+	r.errMu.Lock()
+	if r.firstErr == nil && err != nil {
+		r.firstErr = err
+	}
+	r.errMu.Unlock()
+	r.aborting.Store(true)
+	r.abortOnce.Do(func() {
+		if r.onAbort != nil {
+			r.onAbort(r.Err())
+		}
+	})
+}
+
+// Aborting reports whether the runtime is draining after an Abort.
+func (r *Runtime) Aborting() bool { return r.aborting.Load() }
+
+// Err returns the first error recorded by Abort (nil on a clean run).
+func (r *Runtime) Err() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.firstErr
+}
+
+// discard disposes of one task without running its body and accounts its
+// completion. Cleanup is best-effort (a panic inside the drop routine is
+// swallowed rather than taking down the worker); the completion accounting
+// is unconditional so quiescence stays sound.
+func (r *Runtime) discard(w *Worker, t *Task) {
+	func() {
+		defer func() { _ = recover() }()
+		if r.dropFn != nil {
+			r.dropFn(w, t)
+			return
+		}
+		for i := 0; i < t.NumInputs(); i++ {
+			if c := t.Input(i); c != nil && t.Flags&(1<<uint(i)) == 0 {
+				c.Release(w)
+			}
+		}
+		w.FreeTask(t)
+	}()
+	w.Completed()
+}
+
+// CopyBalance reports data copies obtained (pool or heap) versus fully
+// released, across workers and service identities. After WaitDone — on a
+// clean run or an aborted one — the two must match; any difference is a
+// leaked, still-referenced copy. Only safe once workers have joined.
+func (r *Runtime) CopyBalance() (got, put int64) {
+	for _, w := range r.workers {
+		got += w.Stats.CopiesGot
+		put += w.Stats.CopiesPut
+	}
+	for _, w := range r.service {
+		got += w.Stats.CopiesGot
+		put += w.Stats.CopiesPut
+	}
+	return
+}
+
+// TaskBalance is CopyBalance for task objects (NewTask versus FreeTask).
+func (r *Runtime) TaskBalance() (got, put int64) {
+	for _, w := range r.workers {
+		got += w.Stats.TasksGot
+		put += w.Stats.TasksPut
+	}
+	for _, w := range r.service {
+		got += w.Stats.TasksGot
+		put += w.Stats.TasksPut
 	}
 	return
 }

@@ -2,6 +2,7 @@ package rt
 
 import (
 	"runtime"
+	"runtime/debug"
 	"time"
 )
 
@@ -43,6 +44,18 @@ type WorkerStats struct {
 	Steals   int64 // successful steals
 	Parks    int64 // times the worker slept after spinning
 	Inlined  int64 // tasks executed inline at the discovery site
+
+	// Object-lifetime accounting (plain owner-only counters): obtained
+	// versus fully released/freed. Summed across workers after a run, got
+	// must equal put or the run leaked objects — the invariant the
+	// fault-tolerance paths (abort drain, panic cleanup) must preserve.
+	TasksGot  int64
+	TasksPut  int64
+	CopiesGot int64
+	CopiesPut int64
+
+	Discarded int64 // tasks disposed of without execution (abort drain)
+	Panics    int64 // task bodies that panicked and were isolated
 }
 
 // Worker is one runtime execution thread. Worker methods must only be
@@ -129,6 +142,7 @@ func (w *Worker) Runtime() *Runtime { return w.rt }
 
 // NewTask obtains a task object (recycled when pools are enabled).
 func (w *Worker) NewTask() *Task {
+	w.Stats.TasksGot++
 	if w.rt.cfg.UsePools {
 		return w.TaskPool.Get(w)
 	}
@@ -138,6 +152,7 @@ func (w *Worker) NewTask() *Task {
 
 // FreeTask recycles a task to its owning pool (or drops it for the GC).
 func (w *Worker) FreeTask(t *Task) {
+	w.Stats.TasksPut++
 	if t.pool != nil {
 		t.pool.Put(w, t)
 	}
@@ -146,6 +161,7 @@ func (w *Worker) FreeTask(t *Task) {
 // NewCopy wraps a value in a reference-counted copy with refcount 1.
 func (w *Worker) NewCopy(v any) *Copy {
 	var c *Copy
+	w.Stats.CopiesGot++
 	if w.rt.cfg.UsePools {
 		c = w.copies.get(w)
 	} else {
@@ -246,16 +262,45 @@ func (w *Worker) run() {
 }
 
 // execute runs one task, recording a trace event when tracing is enabled.
+// After an Abort, dequeued tasks are discarded instead of executed.
 func (w *Worker) execute(t *Task) {
+	if w.rt.aborting.Load() {
+		w.Stats.Discarded++
+		w.rt.discard(w, t)
+		return
+	}
 	if w.rt.trace != nil {
 		start := time.Now()
 		tt, key := t.TT, t.Key() // t is recycled inside Exec; capture first
-		t.Exec(w, t)
+		w.invoke(t)
 		w.recordNamed(tt, key, start, false)
 	} else {
-		t.Exec(w, t)
+		w.invoke(t)
 	}
 	w.Stats.Executed++
+}
+
+// invoke runs one task's Exec with panic isolation: a panicking body is
+// converted into a *TaskError, the task's resources are reclaimed, its
+// completion is still accounted to the termination detector (so quiescence
+// stays sound), and the runtime aborts. The worker itself survives.
+func (w *Worker) invoke(t *Task) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		err := newTaskError(t, r, debug.Stack())
+		w.Stats.Panics++
+		// Ready tasks deferred (bundled) before the panic are accounted as
+		// discovered; push them so the drain can settle them.
+		w.FlushDeferred()
+		// Exec's own housekeeping was skipped by the unwind: release the
+		// task's inputs, free it, and account the completion.
+		w.rt.discard(w, t)
+		w.rt.Abort(err)
+	}()
+	t.Exec(w, t)
 }
 
 // Bundling reports whether ready-task bundling is active for this worker
@@ -299,10 +344,10 @@ func (w *Worker) TryInline(t *Task) bool {
 	if w.rt.trace != nil {
 		start := time.Now()
 		tt, key := t.TT, t.Key()
-		t.Exec(w, t)
+		w.invoke(t)
 		w.recordNamed(tt, key, start, true)
 	} else {
-		t.Exec(w, t)
+		w.invoke(t)
 	}
 	w.Stats.Inlined++
 	w.inlineDepth--

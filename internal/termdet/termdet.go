@@ -26,6 +26,7 @@
 package termdet
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"gottg/internal/xsync"
@@ -173,6 +174,14 @@ func (d *Detector) Flushes() int64 { return d.flushes.Load() }
 
 // IdleWorkers returns the number of currently idle workers (diagnostics).
 func (d *Detector) IdleWorkers() int { return int(d.idle.Load()) }
+
+// DebugString renders the detector's shared counters for hang diagnostics
+// (stall watchdogs, PendingSummary). Thread-local cells are not included,
+// so pending is only exact at quiescence.
+func (d *Detector) DebugString() string {
+	return fmt.Sprintf("pending≈%d sent=%d recvd=%d idle=%d/%d",
+		d.pending.Load(), d.sent.Load(), d.recvd.Load(), d.idle.Load(), d.workers)
+}
 
 // Reset returns the detector to its initial state so a runtime can execute
 // another graph. Not safe to call while workers are active.

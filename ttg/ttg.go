@@ -94,8 +94,16 @@ var (
 	Unpack4D = core.Unpack4D
 )
 
+// TaskError is a task-body panic converted into a structured error (which
+// TT, which key, the panic value and stack); Wait returns it after a panic.
+type TaskError = rt.TaskError
+
 // World is a set of simulated ranks for distributed execution.
 type World = comm.World
+
+// FaultPlan injects seeded drop/duplicate/delay/reorder faults into a
+// World's links and engages the reliable (ack/retransmit) link layer.
+type FaultPlan = comm.FaultPlan
 
 // Proc is one rank's communication endpoint.
 type Proc = comm.Proc
