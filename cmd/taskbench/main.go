@@ -14,6 +14,8 @@ import (
 	"os"
 	"strings"
 
+	"gottg/internal/bench"
+	"gottg/internal/metrics"
 	"gottg/internal/taskbench"
 )
 
@@ -27,7 +29,25 @@ var (
 	flagVerify  = flag.Bool("verify", false, "check checksums against the sequential reference")
 	flagList    = flag.Bool("list", false, "list available runners and exit")
 	flagRanks   = flag.Int("ranks", 0, "run the TTG implementation across N simulated ranks instead")
+	flagJSON    = flag.Bool("json", false, "emit BENCH records as JSON lines instead of text (TTG runners include a metric snapshot)")
 )
+
+// emitRecord prints one BENCH JSON record for a finished run.
+func emitRecord(name string, workers, ranks int, res taskbench.Result, spec taskbench.Spec, mx map[string]float64) {
+	rec := bench.NewRecord("taskbench", name, workers, int64(res.Tasks), res.Elapsed)
+	rec.Ranks = ranks
+	rec.Config = map[string]any{
+		"pattern": spec.Pattern.String(),
+		"width":   spec.Width,
+		"steps":   spec.Steps,
+		"flops":   spec.Flops,
+	}
+	rec.Metrics = mx
+	if err := bench.WriteRecord(os.Stdout, rec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	flag.Parse()
@@ -50,13 +70,17 @@ func main() {
 	}
 	if *flagRanks > 0 {
 		res := taskbench.RunDistributedTTG(spec, *flagRanks, *flagThreads)
+		if *flagVerify && res.Checksum != want {
+			fmt.Fprintf(os.Stderr, "CHECKSUM MISMATCH (got %v want %v)\n", res.Checksum, want)
+			os.Exit(1)
+		}
+		if *flagJSON {
+			emitRecord("TTG distributed", *flagThreads, *flagRanks, res, spec, nil)
+			return
+		}
 		status := ""
 		if *flagVerify {
-			if res.Checksum == want {
-				status = "  checksum OK"
-			} else {
-				status = fmt.Sprintf("  CHECKSUM MISMATCH (got %v want %v)", res.Checksum, want)
-			}
+			status = "  checksum OK"
 		}
 		fmt.Printf("%-44s %10d tasks  %12v total  %10v/task%s\n",
 			fmt.Sprintf("TTG distributed (%d ranks)", *flagRanks), res.Tasks, res.Elapsed, res.PerTask(), status)
@@ -72,14 +96,28 @@ func main() {
 			continue
 		}
 		matched++
-		res := r.Run(spec, *flagThreads)
+		var res taskbench.Result
+		var mx map[string]float64
+		if tr, ok := r.(taskbench.TTGRunner); ok && *flagJSON {
+			// The TTG runner exposes the unified metrics layer; its BENCH
+			// records carry the full post-run snapshot.
+			var snap metrics.Snapshot
+			res, snap = tr.RunInstrumented(spec, *flagThreads)
+			mx = snap.Flatten()
+		} else {
+			res = r.Run(spec, *flagThreads)
+		}
+		if *flagVerify && res.Checksum != want {
+			fmt.Fprintf(os.Stderr, "%s: CHECKSUM MISMATCH (got %v want %v)\n", r.Name(), res.Checksum, want)
+			os.Exit(1)
+		}
+		if *flagJSON {
+			emitRecord(r.Name(), *flagThreads, 0, res, spec, mx)
+			continue
+		}
 		status := ""
 		if *flagVerify {
-			if res.Checksum == want {
-				status = "  checksum OK"
-			} else {
-				status = fmt.Sprintf("  CHECKSUM MISMATCH (got %v want %v)", res.Checksum, want)
-			}
+			status = "  checksum OK"
 		}
 		fmt.Printf("%-44s %10d tasks  %12v total  %10v/task%s\n",
 			r.Name(), res.Tasks, res.Elapsed, res.PerTask(), status)

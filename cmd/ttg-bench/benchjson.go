@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gottg/internal/bench"
+	"gottg/internal/rt"
+	"gottg/internal/taskbench"
+)
+
+// benchWorkerCounts picks the worker counts for the `bench` subcommand: at
+// least two (the smoke contract is "LLP vs LFQ on >= 2 worker counts"),
+// capped by -threads when given.
+func benchWorkerCounts(c *ctx) []int {
+	hi := c.maxT
+	if hi <= 0 {
+		hi = c.hostCPUs
+	}
+	if hi < 2 {
+		hi = 2
+	}
+	if hi > 4 {
+		hi = 4
+	}
+	return []int{1, hi}
+}
+
+// figBench runs the standard smoke matrix — the LLP and LFQ schedulers on
+// two worker counts over a small Task-Bench stencil — with the metrics layer
+// on, and emits one BENCH record per cell (JSON lines with -json, aligned
+// text otherwise).
+func figBench(c *ctx) {
+	spec := taskbench.Spec{Pattern: taskbench.Stencil1D, Width: 16, Steps: 200, Flops: 1000}
+	if c.full {
+		spec = taskbench.Spec{Pattern: taskbench.Stencil1D, Width: 64, Steps: 1000, Flops: 1000}
+	}
+	variants := []struct {
+		name string
+		cfg  func(threads int) rt.Config
+	}{
+		{"TTG LLP", func(t int) rt.Config {
+			cfg := rt.OptimizedConfig(t)
+			cfg.PinWorkers = false
+			return cfg
+		}},
+		{"TTG LFQ", func(t int) rt.Config {
+			cfg := rt.OriginalConfig(t)
+			cfg.PinWorkers = false
+			return cfg
+		}},
+	}
+	want := spec.Reference()
+	for _, v := range variants {
+		for _, workers := range benchWorkerCounts(c) {
+			runner := taskbench.TTGRunner{Label: v.name, Cfg: v.cfg}
+			res, snap := runner.RunInstrumented(spec, workers)
+			if res.Checksum != want {
+				fmt.Fprintf(os.Stderr, "bench: %s @%d workers: checksum %v, want %v\n",
+					v.name, workers, res.Checksum, want)
+				os.Exit(1)
+			}
+			rec := bench.NewRecord("ttg-bench", v.name, workers, int64(res.Tasks), res.Elapsed)
+			rec.Config = map[string]any{
+				"pattern": spec.Pattern.String(),
+				"width":   spec.Width,
+				"steps":   spec.Steps,
+				"flops":   spec.Flops,
+			}
+			rec.Metrics = snap.Flatten()
+			if *flagJSON {
+				if err := bench.WriteRecord(os.Stdout, rec); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			} else {
+				fmt.Printf("%-12s %2d workers  %8d tasks  %12.0f tasks/s  %9.0f ns/task  (%d metrics)\n",
+					v.name, workers, rec.Tasks, rec.TasksPerSec, rec.PerTaskNs, len(rec.Metrics))
+			}
+		}
+	}
+}
+
+// cmdValidate reads BENCH record streams from the given files ("-" or no
+// args = stdin) and fails loudly on the first structural problem — the CI
+// smoke gate for the JSON contract.
+func cmdValidate(files []string) {
+	if len(files) == 0 {
+		files = []string{"-"}
+	}
+	total := 0
+	for _, f := range files {
+		var (
+			recs []bench.Record
+			err  error
+		)
+		if f == "-" {
+			recs, err = bench.ReadRecords(os.Stdin)
+		} else {
+			var fh *os.File
+			fh, err = os.Open(f)
+			if err == nil {
+				recs, err = bench.ReadRecords(fh)
+				fh.Close()
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate: %s: %v\n", f, err)
+			os.Exit(1)
+		}
+		if len(recs) == 0 {
+			fmt.Fprintf(os.Stderr, "validate: %s: no BENCH records\n", f)
+			os.Exit(1)
+		}
+		total += len(recs)
+	}
+	fmt.Printf("validate: %d record(s) OK\n", total)
+}

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	ttg-bench [flags] fig1|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|model|all
+//	ttg-bench [-json] bench            # LLP vs LFQ smoke matrix, BENCH records
+//	ttg-bench validate [files...]      # validate BENCH record streams
 //
 // Thread-scaling figures print `measured` series for thread counts the host
 // can actually run (<= NumCPU) and `modeled` series from the calibrated
@@ -31,6 +33,7 @@ var (
 	flagGHz     = flag.Float64("ghz", 2.7, "nominal CPU clock for cycle accounting")
 	flagArch    = flag.String("arch", "amd", "contention-model architecture: amd|power9")
 	flagCSV     = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	flagJSON    = flag.Bool("json", false, "emit BENCH records as JSON lines (bench subcommand)")
 )
 
 // ctx bundles the harness configuration shared by all figures.
@@ -77,7 +80,7 @@ func (c *ctx) measurableThreads(list []int) []int {
 func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: ttg-bench [flags] fig1|fig2|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|model|all")
+		fmt.Fprintln(os.Stderr, "usage: ttg-bench [flags] fig1|fig2|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|model|all|bench|validate [files...]")
 		os.Exit(2)
 	}
 	spin.SetClockGHz(*flagGHz)
@@ -94,9 +97,19 @@ func main() {
 		maxT:     *flagThreads,
 		hostCPUs: runtime.NumCPU(),
 	}
-	bench.Env(os.Stdout)
-	for _, cmd := range flag.Args() {
+	if !*flagJSON {
+		bench.Env(os.Stdout)
+	}
+	args := flag.Args()
+	for i := 0; i < len(args); i++ {
+		cmd := args[i]
 		switch cmd {
+		case "bench":
+			figBench(c)
+		case "validate":
+			// Remaining arguments are record files, not figure names.
+			cmdValidate(args[i+1:])
+			return
 		case "fig1":
 			fig1(c)
 		case "fig2":

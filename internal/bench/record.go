@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+)
+
+// RecordSchema identifies the BENCH JSON record layout. Bump the suffix on
+// incompatible changes; consumers must reject records whose schema they do
+// not know.
+const RecordSchema = "gottg.bench/v1"
+
+// EnvInfo captures the measurement environment embedded in every record.
+type EnvInfo struct {
+	CPUs       int    `json:"cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+}
+
+// CaptureEnv snapshots the current environment.
+func CaptureEnv() EnvInfo {
+	return EnvInfo{
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+	}
+}
+
+// Record is one stable machine-readable benchmark result, emitted as a
+// single JSON object per line. The derived rate fields are included (rather
+// than left to consumers) so a record is a self-contained measurement.
+type Record struct {
+	Schema      string             `json:"schema"`
+	Bench       string             `json:"bench"`            // harness, e.g. "taskbench", "ttg-bench"
+	Name        string             `json:"name"`             // configuration label, e.g. "TTG LLP"
+	Workers     int                `json:"workers"`          // worker threads per rank
+	Ranks       int                `json:"ranks,omitempty"`  // simulated ranks (0/absent = shared memory)
+	Tasks       int64              `json:"tasks"`            // tasks executed
+	ElapsedNs   int64              `json:"elapsed_ns"`       // wall clock for the run
+	TasksPerSec float64            `json:"tasks_per_sec"`    // Tasks / elapsed
+	PerTaskNs   float64            `json:"per_task_ns"`      // elapsed / Tasks
+	Config      map[string]any     `json:"config,omitempty"` // harness-specific parameters
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Env         EnvInfo            `json:"env"`
+}
+
+// NewRecord builds a record with the derived fields and environment filled
+// in. Callers add Config/Metrics/Ranks afterwards as needed.
+func NewRecord(bench, name string, workers int, tasks int64, elapsed time.Duration) Record {
+	r := Record{
+		Schema:    RecordSchema,
+		Bench:     bench,
+		Name:      name,
+		Workers:   workers,
+		Tasks:     tasks,
+		ElapsedNs: elapsed.Nanoseconds(),
+		Env:       CaptureEnv(),
+	}
+	if elapsed > 0 {
+		r.TasksPerSec = float64(tasks) / elapsed.Seconds()
+	}
+	if tasks > 0 {
+		r.PerTaskNs = float64(elapsed.Nanoseconds()) / float64(tasks)
+	}
+	return r
+}
+
+// Validate checks structural integrity: schema, required fields, and that
+// the derived rates are consistent with tasks/elapsed (to 1%, absorbing
+// float rounding). It is the contract CI smoke jobs enforce.
+func (r Record) Validate() error {
+	if r.Schema != RecordSchema {
+		return fmt.Errorf("bench: schema %q, want %q", r.Schema, RecordSchema)
+	}
+	if r.Bench == "" || r.Name == "" {
+		return fmt.Errorf("bench: record missing bench/name labels")
+	}
+	if r.Workers < 1 {
+		return fmt.Errorf("bench: %s/%s: workers %d < 1", r.Bench, r.Name, r.Workers)
+	}
+	if r.Tasks < 1 {
+		return fmt.Errorf("bench: %s/%s: tasks %d < 1", r.Bench, r.Name, r.Tasks)
+	}
+	if r.ElapsedNs <= 0 {
+		return fmt.Errorf("bench: %s/%s: elapsed_ns %d <= 0", r.Bench, r.Name, r.ElapsedNs)
+	}
+	if !finite(r.TasksPerSec) || !finite(r.PerTaskNs) {
+		return fmt.Errorf("bench: %s/%s: non-finite rate fields", r.Bench, r.Name)
+	}
+	wantRate := float64(r.Tasks) / (float64(r.ElapsedNs) / 1e9)
+	if relDiff(r.TasksPerSec, wantRate) > 0.01 {
+		return fmt.Errorf("bench: %s/%s: tasks_per_sec %.6g inconsistent with tasks/elapsed %.6g",
+			r.Bench, r.Name, r.TasksPerSec, wantRate)
+	}
+	wantPer := float64(r.ElapsedNs) / float64(r.Tasks)
+	if relDiff(r.PerTaskNs, wantPer) > 0.01 {
+		return fmt.Errorf("bench: %s/%s: per_task_ns %.6g inconsistent with elapsed/tasks %.6g",
+			r.Bench, r.Name, r.PerTaskNs, wantPer)
+	}
+	for k, v := range r.Metrics {
+		if !finite(v) {
+			return fmt.Errorf("bench: %s/%s: metric %q is non-finite", r.Bench, r.Name, k)
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+// WriteRecord emits one record as a single JSON line.
+func WriteRecord(w io.Writer, r Record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}
+
+// ReadRecords parses newline-delimited BENCH records, validating each.
+// Blank lines and lines starting with '#' are skipped, so record streams
+// may be interleaved with the harness's human-readable commentary.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if len(text) == 0 || text[0] == '#' {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("bench: line %d: %v", line, err)
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("bench: line %d: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gottg/internal/metrics"
 	"gottg/internal/termdet"
 )
 
@@ -97,6 +98,20 @@ type World struct {
 
 	stallAfter time.Duration
 	onStall    func(rank int, summary string)
+
+	// closed flips in Shutdown: from then on the wire discards every
+	// transmission instead of delivering it, so nothing repopulates the
+	// mailboxes of stopped ranks.
+	closed atomic.Bool
+
+	// timers tracks the delayed-delivery timers armed by Delay/Reorder
+	// faults so Shutdown can stop any still pending; without this they
+	// outlive the world and fire into dead mailboxes.
+	timerMu sync.Mutex
+	timers  map[*time.Timer]struct{}
+
+	mx    *commMetrics
+	trace atomic.Bool
 }
 
 // NewWorld creates a world with n ranks. Each rank must have Start called
@@ -126,13 +141,25 @@ func (w *World) Size() int { return len(w.procs) }
 // Proc returns the rank r endpoint.
 func (w *World) Proc(r int) *Proc { return w.procs[r] }
 
-// Shutdown stops all progress goroutines. Safe after termination; with the
-// reliable link layer active this is what releases the lingering progress
-// goroutines that keep re-acking duplicates after termination.
+// Shutdown stops all progress goroutines, closes the wire, and cancels any
+// delayed-fault delivery timers still pending. Safe after termination; with
+// the reliable link layer active this is what releases the lingering
+// progress goroutines that keep re-acking duplicates after termination.
+// Idempotent, and safe even when some ranks were never started (their
+// progress goroutine does not exist, so there is nothing to join).
 func (w *World) Shutdown() {
+	w.closed.Store(true)
+	w.timerMu.Lock()
+	for t := range w.timers {
+		t.Stop()
+	}
+	w.timers = nil
+	w.timerMu.Unlock()
 	for _, p := range w.procs {
 		p.stopOnce.Do(func() { close(p.quit) })
-		<-p.stopped
+		if p.launched.Load() {
+			<-p.stopped
+		}
 	}
 }
 
@@ -148,6 +175,12 @@ type Proc struct {
 	quit     chan struct{}
 	stopped  chan struct{}
 	stopOnce sync.Once
+	launched atomic.Bool // Start ran; stopped will eventually close
+
+	// Chrome-trace event log (World.EnableTracing); guarded because Send may
+	// run on any goroutine.
+	traceMu  sync.Mutex
+	traceEvs []metrics.ChromeEvent
 
 	onTerminate func()
 	onError     func(err error)
@@ -175,7 +208,7 @@ type Proc struct {
 	sumS, sumR   int64
 	prevS, prevR int64
 	havePrev     bool
-	rounds       int // statistic
+	rounds       atomic.Int64 // statistic (atomic so gauges can poll live)
 }
 
 // Rank returns this endpoint's rank.
@@ -226,6 +259,7 @@ func (p *Proc) Start(det *termdet.Detector, onTerminate func()) {
 		default:
 		}
 	})
+	p.launched.Store(true)
 	go p.progress()
 }
 
@@ -236,11 +270,21 @@ func (p *Proc) Send(dst, tag int, payload []byte) {
 		panic("comm: application sends must use tag >= 0")
 	}
 	p.det.MsgSent()
+	if m := p.world.mx; m != nil {
+		m.sent.Inc(p.rank)
+		m.bytesSent.Add(p.rank, uint64(len(payload)))
+	}
+	if p.world.trace.Load() {
+		p.recordSend(dst, tag, len(payload))
+	}
 	p.post(dst, message{src: p.rank, tag: tag, payload: payload})
 }
 
 // sendControl delivers a wave control message (not counted).
 func (p *Proc) sendControl(dst, tag int, a, b int64) {
+	if m := p.world.mx; m != nil {
+		m.ctrl.Inc(p.rank)
+	}
 	p.post(dst, message{src: p.rank, tag: tag, a: a, b: b})
 }
 
@@ -275,7 +319,8 @@ func (p *Proc) post(dst int, m message) {
 }
 
 // Rounds reports how many reduction rounds the root performed (rank 0 only).
-func (p *Proc) Rounds() int { return p.rounds }
+// Safe from any goroutine.
+func (p *Proc) Rounds() int { return int(p.rounds.Load()) }
 
 func (p *Proc) progress() {
 	defer close(p.stopped)
@@ -361,6 +406,9 @@ func (p *Proc) receive(m message) {
 // Acks are unsequenced and cross the faulty wire like any other message; a
 // lost ack is recovered by the sender's retransmit provoking a re-ack.
 func (p *Proc) sendAck(dst int, seq int64) {
+	if m := p.world.mx; m != nil {
+		m.acks.Inc(p.rank)
+	}
 	p.world.transmit(dst, message{src: p.rank, tag: tagAck, a: seq})
 }
 
@@ -403,6 +451,9 @@ func (p *Proc) retransmit() {
 			}
 		}
 		l.mu.Unlock()
+		if mx := p.world.mx; mx != nil && len(resend) > 0 {
+			mx.retrans.Add(p.rank, uint64(len(resend)))
+		}
 		for _, m := range resend {
 			p.world.transmit(dst, m)
 		}
@@ -446,7 +497,17 @@ func (p *Proc) dispatch(m message) bool {
 			}
 			return false
 		}
-		h(m.src, m.payload)
+		if mx := p.world.mx; mx != nil {
+			mx.recvd.Inc(p.rank)
+			mx.bytesRecvd.Add(p.rank, uint64(len(m.payload)))
+		}
+		if p.world.trace.Load() {
+			start := time.Now()
+			h(m.src, m.payload)
+			p.recordRecv(m.src, m.tag, len(m.payload), start, time.Since(start))
+		} else {
+			h(m.src, m.payload)
+		}
 		p.det.MsgRecvd()
 	}
 	return false
@@ -470,7 +531,7 @@ func (p *Proc) handleQuiescent() {
 func (p *Proc) startRound() {
 	p.inRound = true
 	p.roundNum++
-	p.rounds++
+	p.rounds.Add(1)
 	p.replies = 0
 	p.sumS, p.sumR = 0, 0
 	for dst := range p.world.procs {

@@ -118,8 +118,16 @@ func (w *World) roll() float64 { return float64(w.rng()>>11) / (1 << 53) }
 // transmit is the wire: it applies the drop filter and fault plan to one
 // transmission and (maybe, maybe twice, maybe late) delivers it into the
 // destination mailbox. Called for originals, retransmissions, and acks.
+// After Shutdown the wire is down: every transmission is discarded, so no
+// delivery — immediate or delayed — can land in a stopped rank's mailbox.
 func (w *World) transmit(dst int, m message) {
+	if w.closed.Load() {
+		return
+	}
 	if w.dropF != nil && w.dropF(m.src, dst, m.tag) {
+		if mx := w.mx; mx != nil {
+			mx.faultDrop.Inc(m.src)
+		}
 		return
 	}
 	fp := w.fp
@@ -129,24 +137,63 @@ func (w *World) transmit(dst int, m message) {
 		return
 	}
 	if fp.Drop > 0 && w.roll() < fp.Drop {
+		if mx := w.mx; mx != nil {
+			mx.faultDrop.Inc(m.src)
+		}
 		return
 	}
 	if fp.Dup > 0 && w.roll() < fp.Dup {
+		if mx := w.mx; mx != nil {
+			mx.faultDup.Inc(m.src)
+		}
 		box.push(m)
 	}
 	var delay time.Duration
 	if fp.Reorder > 0 && w.roll() < fp.Reorder {
 		// Hold the message back just long enough for later sends to pass.
 		delay += time.Duration(50+w.rng()%450) * time.Microsecond
+		if mx := w.mx; mx != nil {
+			mx.faultReorder.Inc(m.src)
+		}
 	}
 	if fp.Delay > 0 && w.roll() < fp.Delay {
 		delay += time.Duration(w.rng() % uint64(fp.MaxDelay))
+		if mx := w.mx; mx != nil {
+			mx.faultDelay.Inc(m.src)
+		}
 	}
 	if delay > 0 {
-		time.AfterFunc(delay, func() { box.push(m) })
+		w.deliverLater(box, m, delay)
 		return
 	}
 	box.push(m)
+}
+
+// deliverLater arms a tracked timer that pushes m into box after delay.
+// Tracking lets Shutdown stop pending timers; the callback additionally
+// re-checks closed (Stop may lose the race with an already-firing timer) and
+// deregisters itself so the timer set stays bounded by in-flight deliveries.
+func (w *World) deliverLater(box *mailbox, m message, delay time.Duration) {
+	w.timerMu.Lock()
+	if w.closed.Load() {
+		w.timerMu.Unlock()
+		return
+	}
+	if w.timers == nil {
+		w.timers = map[*time.Timer]struct{}{}
+	}
+	var t *time.Timer
+	t = time.AfterFunc(delay, func() {
+		w.timerMu.Lock()
+		delete(w.timers, t)
+		w.timerMu.Unlock()
+		if w.closed.Load() {
+			return
+		}
+		box.push(m)
+	})
+	w.timers[t] = struct{}{}
+	w.timerMu.Unlock()
 }
 
 // checkStall runs on the progress goroutine's retransmit tick. A stall is a

@@ -1,0 +1,150 @@
+package comm
+
+import (
+	"fmt"
+	"time"
+
+	"gottg/internal/metrics"
+)
+
+// commMetrics bundles the world's sharded wire metrics. The shard index is
+// the rank performing the operation (for fault counters: the source rank of
+// the faulted transmission), so updates are uncontended per rank.
+type commMetrics struct {
+	reg *metrics.Registry
+
+	sent       *metrics.Counter // application messages sent
+	recvd      *metrics.Counter // application messages dispatched to handlers
+	bytesSent  *metrics.Counter // application payload bytes sent
+	bytesRecvd *metrics.Counter // application payload bytes dispatched
+	ctrl       *metrics.Counter // wave control messages posted
+	acks       *metrics.Counter // link-layer acks posted
+	retrans    *metrics.Counter // link-layer retransmissions
+
+	faultDrop    *metrics.Counter // transmissions lost by the fault plan/filter
+	faultDup     *metrics.Counter // transmissions duplicated
+	faultDelay   *metrics.Counter // transmissions delayed
+	faultReorder *metrics.Counter // transmissions held back to reorder
+}
+
+// EnableMetrics switches on wire metrics: one registry sharded per rank,
+// counting application messages and bytes, wave control traffic, link-layer
+// acks and retransmissions, and injected faults by kind. Must be called
+// before any Proc is started; idempotent. Returns the registry (distinct
+// from any runtime registry — merge snapshots by name, the "comm." prefix
+// keeps them disjoint).
+func (w *World) EnableMetrics() *metrics.Registry {
+	if w.started.Load() {
+		panic("comm: EnableMetrics after Start")
+	}
+	if w.mx != nil {
+		return w.mx.reg
+	}
+	reg := metrics.NewRegistry(len(w.procs))
+	w.mx = &commMetrics{
+		reg:          reg,
+		sent:         reg.Counter("comm.msgs.sent"),
+		recvd:        reg.Counter("comm.msgs.recvd"),
+		bytesSent:    reg.Counter("comm.bytes.sent"),
+		bytesRecvd:   reg.Counter("comm.bytes.recvd"),
+		ctrl:         reg.Counter("comm.ctrl.sent"),
+		acks:         reg.Counter("comm.acks.sent"),
+		retrans:      reg.Counter("comm.retransmits"),
+		faultDrop:    reg.Counter("comm.fault.dropped"),
+		faultDup:     reg.Counter("comm.fault.duplicated"),
+		faultDelay:   reg.Counter("comm.fault.delayed"),
+		faultReorder: reg.Counter("comm.fault.reordered"),
+	}
+	reg.Func("comm.rounds", func() int64 { return w.procs[0].rounds.Load() })
+	return reg
+}
+
+// Metrics returns the registry installed by EnableMetrics (nil when off).
+func (w *World) Metrics() *metrics.Registry {
+	if w.mx == nil {
+		return nil
+	}
+	return w.mx.reg
+}
+
+// MetricsSnapshot merges the wire metrics; zero Snapshot when metrics are
+// off. Safe at any time.
+func (w *World) MetricsSnapshot() metrics.Snapshot {
+	if w.mx == nil {
+		return metrics.Snapshot{}
+	}
+	return w.mx.reg.Snapshot()
+}
+
+// EnableTracing records a Chrome trace event per application send (instant)
+// and per handler dispatch (span), mergeable with the runtime's task trace
+// on a shared timeline (pid = rank, tid = -1 for the comm thread). Must be
+// called before any Proc is started.
+func (w *World) EnableTracing() {
+	if w.started.Load() {
+		panic("comm: EnableTracing after Start")
+	}
+	w.trace.Store(true)
+}
+
+// commTraceTid is the Chrome-trace thread id used for a rank's communication
+// events, keeping them on a lane separate from worker tids (>= 0).
+const commTraceTid = -1
+
+// recordSend appends an instant event for an application send. Send is safe
+// from any goroutine, so the log is mutex-guarded (tracing is opt-in).
+func (p *Proc) recordSend(dst, tag, bytes int) {
+	ev := metrics.ChromeEvent{
+		Name:  fmt.Sprintf("send tag%d->%d", tag, dst),
+		Cat:   "comm,send",
+		Phase: "i",
+		Start: time.Now(),
+		Pid:   p.rank,
+		Tid:   commTraceTid,
+		Args:  map[string]any{"dst": dst, "tag": tag, "bytes": bytes},
+	}
+	p.traceMu.Lock()
+	p.traceEvs = append(p.traceEvs, ev)
+	p.traceMu.Unlock()
+}
+
+// recordRecv appends a span covering one handler dispatch (runs on the
+// progress goroutine; the mutex only excludes concurrent senders).
+func (p *Proc) recordRecv(src, tag, bytes int, start time.Time, dur time.Duration) {
+	ev := metrics.ChromeEvent{
+		Name:  fmt.Sprintf("recv tag%d<-%d", tag, src),
+		Cat:   "comm,recv",
+		Phase: "X",
+		Start: start,
+		Dur:   dur,
+		Pid:   p.rank,
+		Tid:   commTraceTid,
+		Args:  map[string]any{"src": src, "tag": tag, "bytes": bytes},
+	}
+	p.traceMu.Lock()
+	p.traceEvs = append(p.traceEvs, ev)
+	p.traceMu.Unlock()
+}
+
+// ChromeEvents returns this rank's recorded communication events (nil when
+// tracing is off). Safe at any time; returns a copy.
+func (p *Proc) ChromeEvents() []metrics.ChromeEvent {
+	p.traceMu.Lock()
+	defer p.traceMu.Unlock()
+	if len(p.traceEvs) == 0 {
+		return nil
+	}
+	out := make([]metrics.ChromeEvent, len(p.traceEvs))
+	copy(out, p.traceEvs)
+	return out
+}
+
+// ChromeEvents returns the communication events of every rank merged (nil
+// when tracing is off).
+func (w *World) ChromeEvents() []metrics.ChromeEvent {
+	var out []metrics.ChromeEvent
+	for _, p := range w.procs {
+		out = append(out, p.ChromeEvents()...)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package comm
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gottg/internal/termdet"
+)
+
+// TestShutdownCancelsDelayedDeliveries closes a world while delayed-fault
+// timers are still pending. Shutdown must stop them (no deliveries into
+// stopped ranks, no timers outliving the world) — this is the regression
+// test for the time.AfterFunc leak. Run under -race.
+func TestShutdownCancelsDelayedDeliveries(t *testing.T) {
+	h := newHarness(2)
+	// Every cross-rank transmission is delayed up to 200ms, so at shutdown
+	// time essentially all of the burst below is sitting in timers.
+	h.world.SetFaultPlan(FaultPlan{Seed: 7, Delay: 1.0, MaxDelay: 200 * time.Millisecond})
+	var handled atomic.Int64
+	h.world.Proc(1).Register(0, func(src int, payload []byte) { handled.Add(1) })
+	h.dets[0].Discovered(termdet.ExternalSlot)
+	h.start()
+	for i := 0; i < 64; i++ {
+		h.world.Proc(0).Send(1, 0, []byte{byte(i)})
+	}
+	h.world.Shutdown()
+	afterShutdown := handled.Load()
+
+	h.world.timerMu.Lock()
+	pending := len(h.world.timers)
+	h.world.timerMu.Unlock()
+	if pending != 0 {
+		t.Fatalf("%d delayed-delivery timers still tracked after Shutdown", pending)
+	}
+
+	// Any timer that raced Stop and fired anyway must see the closed wire
+	// and deliver nothing.
+	time.Sleep(250 * time.Millisecond)
+	if got := handled.Load(); got != afterShutdown {
+		t.Fatalf("handler ran %d more times after Shutdown", got-afterShutdown)
+	}
+}
+
+// TestShutdownIdempotentWithUnstartedRanks covers the two Shutdown hangs:
+// calling it twice, and calling it when some ranks never had Start called
+// (their progress goroutine does not exist, so joining it would block
+// forever).
+func TestShutdownIdempotentWithUnstartedRanks(t *testing.T) {
+	w := NewWorld(3)
+	det := termdet.New(1, false)
+	w.Proc(0).Start(det, func() {})
+	det.EnterIdle(0)
+	done := make(chan struct{})
+	go func() {
+		w.Shutdown()
+		w.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung on a world with unstarted ranks")
+	}
+}
+
+// TestWorldMetricsAndTracing runs the ring relay over a lossy wire with the
+// observability layer on and checks the counters and the Chrome event log.
+func TestWorldMetricsAndTracing(t *testing.T) {
+	const n = 3
+	const hops = 90
+	h := newHarness(n)
+	h.world.SetFaultPlan(FaultPlan{Seed: 42, Drop: 0.2})
+	h.world.SetRetransmitTimeout(500 * time.Microsecond)
+	reg := h.world.EnableMetrics()
+	if again := h.world.EnableMetrics(); again != reg {
+		t.Fatal("EnableMetrics is not idempotent")
+	}
+	h.world.EnableTracing()
+	for i := 0; i < n; i++ {
+		i := i
+		h.world.Proc(i).Register(0, func(src int, payload []byte) {
+			if payload[0] == 0 {
+				return
+			}
+			h.world.Proc(i).Send((i+1)%n, 0, []byte{payload[0] - 1})
+		})
+	}
+	h.dets[0].Discovered(termdet.ExternalSlot)
+	h.start()
+	h.world.Proc(0).Send(1, 0, []byte{hops})
+	h.dets[0].Completed(termdet.ExternalSlot)
+	h.waitAll(t)
+
+	snap := h.world.MetricsSnapshot()
+	if got := snap.Counters["comm.msgs.sent"]; got != hops+1 {
+		t.Fatalf("comm.msgs.sent = %d, want %d", got, hops+1)
+	}
+	if got := snap.Counters["comm.msgs.recvd"]; got != hops+1 {
+		t.Fatalf("comm.msgs.recvd = %d, want %d", got, hops+1)
+	}
+	if got := snap.Counters["comm.bytes.sent"]; got != hops+1 {
+		t.Fatalf("comm.bytes.sent = %d, want %d (1-byte payloads)", got, hops+1)
+	}
+	if snap.Counters["comm.fault.dropped"] == 0 {
+		t.Fatal("a 20-percent-drop wire recorded no dropped transmissions")
+	}
+	if snap.Counters["comm.retransmits"] == 0 {
+		t.Fatal("dropped transmissions were never retransmitted")
+	}
+	if snap.Gauges["comm.rounds"] < 2 {
+		t.Fatalf("comm.rounds = %d, want >= 2", snap.Gauges["comm.rounds"])
+	}
+
+	evs := h.world.ChromeEvents()
+	var sends, recvs int
+	for _, e := range evs {
+		switch e.Phase {
+		case "i":
+			sends++
+		case "X":
+			recvs++
+		}
+		if e.Tid != commTraceTid {
+			t.Fatalf("comm event on tid %d, want %d", e.Tid, commTraceTid)
+		}
+	}
+	if sends != hops+1 || recvs != hops+1 {
+		t.Fatalf("trace has %d sends / %d recvs, want %d each", sends, recvs, hops+1)
+	}
+}

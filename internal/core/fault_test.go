@@ -96,7 +96,7 @@ func TestOnePanicInTenThousandTaskGraph(t *testing.T) {
 	}
 	var panics int64
 	for _, w := range g.Runtime().Workers() {
-		panics += w.Stats.Panics
+		panics += w.Stats.Panics.Load()
 	}
 	if panics != 1 {
 		t.Fatalf("recorded %d panics, want 1", panics)

@@ -10,6 +10,7 @@ import (
 
 	"gottg/internal/comm"
 	"gottg/internal/hashtable"
+	"gottg/internal/metrics"
 	"gottg/internal/rt"
 )
 
@@ -44,6 +45,20 @@ type Graph struct {
 	proc *comm.Proc
 	rank int
 	size int
+
+	// mx holds the graph-level sharded counters (nil when metrics are off);
+	// see EnableMetrics.
+	mx *graphMetrics
+}
+
+// graphMetrics are the discovery-path counters: hash-table lookups split by
+// outcome, insertions of newly discovered pending tasks, and removals of
+// tasks that became eligible. Sharded by worker identity.
+type graphMetrics struct {
+	htFindHit  *metrics.Counter
+	htFindMiss *metrics.Counter
+	htInsert   *metrics.Counter
+	htRemove   *metrics.Counter
 }
 
 // New creates a shared-memory graph with its own runtime.
@@ -121,6 +136,15 @@ func (g *Graph) MakeExecutable() {
 				InitialSize: 64,
 				Lock:        g.rtm.NewRW(),
 			})
+			if reg := g.rtm.Metrics(); reg != nil {
+				ht := tt.ht
+				prefix := "core.ht." + tt.name
+				reg.Func(prefix+".resizes", func() int64 { return int64(ht.Resizes()) })
+				reg.Func(prefix+".depth", func() int64 { return int64(ht.Depth()) })
+				reg.Func(prefix+".buckets", func() int64 { return int64(ht.Buckets()) })
+				reg.Func(prefix+".migrations", ht.Migrations)
+				reg.Func(prefix+".pending", func() int64 { return int64(ht.Len()) })
+			}
 		}
 	}
 	g.rtm.BeginAction() // seed guard, released by Wait
@@ -235,11 +259,60 @@ func (g *Graph) Dot() string {
 }
 
 // EnableTracing records every task execution (name, key, worker, time,
-// duration); dump with Runtime().WriteChromeTrace after Wait. Must be
-// called before MakeExecutable.
+// duration); dump with WriteChromeTrace after Wait. Must be called before
+// MakeExecutable. In distributed graphs, enable comm.World tracing as well
+// to interleave message events on the same timeline.
 func (g *Graph) EnableTracing() {
 	g.mustBeOpen()
 	g.rtm.EnableTracing()
+}
+
+// EnableMetrics switches on the unified observability layer for this graph:
+// the runtime's scheduler/pool/execution metrics plus the discovery-path
+// hash-table counters and per-TT table gauges. Must be called before
+// MakeExecutable; idempotent. Returns the registry for callers that want to
+// attach their own metrics or poll snapshots mid-run.
+func (g *Graph) EnableMetrics() *metrics.Registry {
+	g.mustBeOpen()
+	reg := g.rtm.EnableMetrics()
+	if g.mx == nil {
+		g.mx = &graphMetrics{
+			htFindHit:  reg.Counter("core.ht.find.hit"),
+			htFindMiss: reg.Counter("core.ht.find.miss"),
+			htInsert:   reg.Counter("core.ht.insert"),
+			htRemove:   reg.Counter("core.ht.remove"),
+		}
+	}
+	return reg
+}
+
+// Metrics returns the registry installed by EnableMetrics (nil when off).
+func (g *Graph) Metrics() *metrics.Registry { return g.rtm.Metrics() }
+
+// MetricsSnapshot merges all graph and runtime metrics. Safe at any time,
+// including mid-run (a metrics endpoint can poll it); zero Snapshot when
+// metrics are off.
+func (g *Graph) MetricsSnapshot() metrics.Snapshot { return g.rtm.MetricsSnapshot() }
+
+// ChromeEvents merges the runtime's task trace (pid = this replica's rank)
+// with the rank's communication events, when the respective tracing layers
+// are enabled. Only meaningful after Wait.
+func (g *Graph) ChromeEvents() []metrics.ChromeEvent {
+	evs := g.rtm.ChromeEvents(g.rank)
+	if g.proc != nil {
+		evs = append(evs, g.proc.ChromeEvents()...)
+	}
+	return evs
+}
+
+// WriteChromeTrace dumps the merged task + communication trace in Chrome
+// trace-viewer JSON (load via chrome://tracing or Perfetto). Call after
+// Wait; errors before the workers have joined.
+func (g *Graph) WriteChromeTrace(w io.Writer) error {
+	if !g.rtm.Joined() {
+		return fmt.Errorf("ttg: WriteChromeTrace before Wait returned")
+	}
+	return metrics.WriteChromeTrace(w, g.ChromeEvents())
 }
 
 // Report writes a post-run summary: per-TT task counts and aggregate
@@ -253,7 +326,7 @@ func (g *Graph) Report(w io.Writer) {
 	exec, steals, parks := g.rtm.Stats()
 	var inlined int64
 	for _, wk := range g.rtm.Workers() {
-		inlined += wk.Stats.Inlined
+		inlined += wk.Stats.Inlined.Load()
 	}
 	fmt.Fprintf(w, "  executed %d (inlined %d), steals %d, parks %d\n",
 		exec, inlined, steals, parks)

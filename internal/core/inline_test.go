@@ -37,7 +37,7 @@ func TestInlineChainCorrect(t *testing.T) {
 	}
 	var inlined int64
 	for _, w := range g.Runtime().Workers() {
-		inlined += w.Stats.Inlined
+		inlined += w.Stats.Inlined.Load()
 	}
 	if inlined == 0 {
 		t.Fatal("no tasks were inlined despite InlineTasks")
@@ -93,8 +93,8 @@ func TestInlineDepthBounded(t *testing.T) {
 	}
 	var inlined, executed int64
 	for _, w := range g.Runtime().Workers() {
-		inlined += w.Stats.Inlined
-		executed += w.Stats.Executed
+		inlined += w.Stats.Inlined.Load()
+		executed += w.Stats.Executed.Load()
 	}
 	if inlined == 0 {
 		t.Fatal("nothing inlined")

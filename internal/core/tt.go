@@ -240,11 +240,18 @@ func (g *Graph) deliver(w *rt.Worker, d dest, key uint64, c *rt.Copy, owned bool
 	var t *rt.Task
 	if e := tt.ht.NoLockFind(key); e != nil {
 		t = e.Val.(*rt.Task)
+		if mx := g.mx; mx != nil {
+			mx.htFindHit.Inc(slot)
+		}
 	} else {
 		t = tt.newTask(w, key)
 		t.Entry.Val = t
 		w.Discovered()
 		tt.ht.NoLockInsert(&t.Entry)
+		if mx := g.mx; mx != nil {
+			mx.htFindMiss.Inc(slot)
+			mx.htInsert.Inc(slot)
+		}
 	}
 	switch tt.slots[d.slot].kind {
 	case slotAggregate:
@@ -260,6 +267,9 @@ func (g *Graph) deliver(w *rt.Worker, d dest, key uint64, c *rt.Copy, owned bool
 	ready := t.SatisfyDep(w, 1)
 	if ready {
 		tt.ht.NoLockRemove(key)
+		if mx := g.mx; mx != nil {
+			mx.htRemove.Inc(slot)
+		}
 	}
 	tt.ht.UnlockKey(slot, key)
 	if ready {

@@ -78,10 +78,11 @@ func (a *bucketArray) bucketFor(key uint64) *bucket {
 // concurrent use; callers identify themselves with their worker slot for the
 // benefit of the BRAVO reader lock.
 type Table struct {
-	main      atomic.Pointer[bucketArray]
-	rw        rwlock.RW
-	highWater int32
-	resizes   atomic.Int64 // statistics: number of grow operations
+	main       atomic.Pointer[bucketArray]
+	rw         rwlock.RW
+	highWater  int32
+	resizes    atomic.Int64 // statistics: number of grow operations
+	migrations atomic.Int64 // statistics: old-array hits migrated to main
 }
 
 // Options configures a Table.
@@ -174,6 +175,7 @@ func (t *Table) NoLockFind(key uint64) *Entry {
 				mb.head = e
 				mb.fill++
 				a.live.Add(1)
+				t.migrations.Add(1)
 				return e
 			}
 		}
@@ -288,6 +290,10 @@ func (t *Table) Len() int {
 // rarely more than ~10 per table, which is why the reader-writer lock is so
 // heavily reader-biased).
 func (t *Table) Resizes() int { return int(t.resizes.Load()) }
+
+// Migrations returns how many old-array hits have been migrated into the
+// main array (each one is a resize-displaced entry made fast again).
+func (t *Table) Migrations() int64 { return t.migrations.Load() }
 
 // Buckets returns the current main-array bucket count (diagnostics).
 func (t *Table) Buckets() int { return len(t.main.Load().buckets) }

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// ChromeEvent is one record of the Chrome trace_event format (the "JSON
+// Array Format" consumed by chrome://tracing and Perfetto). Producers keep
+// absolute timestamps; WriteChromeTrace rebases everything onto the earliest
+// event so merged traces from independent sources (runtime tasks, comm
+// messages) share a timeline.
+type ChromeEvent struct {
+	Name  string         // event name (task name, message tag)
+	Cat   string         // comma-separated categories ("task", "comm", ...)
+	Phase string         // "X" complete, "i" instant
+	Start time.Time      // absolute wall-clock start
+	Dur   time.Duration  // duration (complete events only)
+	Pid   int            // process lane (rank in distributed runs)
+	Tid   int            // thread lane (worker ID, or a per-rank lane)
+	Args  map[string]any // free-form args shown in the viewer
+}
+
+// chromeJSON is the wire form (ts/dur in microseconds).
+type chromeJSON struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace encodes events as a trace_event JSON object
+// ({"traceEvents": [...]}), rebased so the earliest event is at ts=0.
+// The output loads directly in chrome://tracing and ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, events []ChromeEvent) error {
+	var epoch time.Time
+	for _, e := range events {
+		if epoch.IsZero() || e.Start.Before(epoch) {
+			epoch = e.Start
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Start.Before(events[j].Start) })
+	out := make([]chromeJSON, 0, len(events))
+	for _, e := range events {
+		j := chromeJSON{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ph:   e.Phase,
+			Ts:   float64(e.Start.Sub(epoch).Nanoseconds()) / 1e3,
+			Pid:  e.Pid,
+			Tid:  e.Tid,
+			Args: e.Args,
+		}
+		if e.Phase == "X" {
+			j.Dur = float64(e.Dur.Nanoseconds()) / 1e3
+		}
+		if e.Phase == "i" {
+			j.S = "t" // thread-scoped instant
+		}
+		out = append(out, j)
+	}
+	return json.NewEncoder(w).Encode(map[string]any{"traceEvents": out})
+}

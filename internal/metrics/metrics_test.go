@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterShardedSum(t *testing.T) {
+	r := NewRegistry(4)
+	c := r.Counter("x")
+	for shard := 0; shard < 4; shard++ {
+		for i := 0; i <= shard; i++ {
+			c.Inc(shard)
+		}
+	}
+	if got := c.Value(); got != 1+2+3+4 {
+		t.Fatalf("Value = %d, want 10", got)
+	}
+	if r.Counter("x") != c {
+		t.Fatal("Counter not idempotent by name")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry(2)
+	h := r.Histogram("lat")
+	for i := 0; i < 100; i++ {
+		h.Observe(i%2, 100) // all in bucket len(100)=7 => bound 127
+	}
+	h.Observe(0, 100000)
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 101 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 100*100+100000 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	if got := s.Quantile(0.5); got != 127 {
+		t.Fatalf("p50 = %d, want 127", got)
+	}
+	if got := s.Quantile(1.0); got < 100000 {
+		t.Fatalf("p100 = %d, want >= 100000", got)
+	}
+	if m := s.Mean(); m < 1000 || m > 1200 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestSnapshotConcurrentWithUpdates(t *testing.T) {
+	r := NewRegistry(8)
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	g := r.Gauge("g")
+	r.Func("f", func() int64 { return 42 })
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for shard := 0; shard < 8; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			c.Inc(shard)
+			h.Observe(shard, uint64(shard))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc(shard)
+					h.Observe(shard, uint64(shard))
+					g.Set(int64(shard))
+				}
+			}
+		}(shard)
+	}
+	for i := 0; i < 50; i++ {
+		s := r.Snapshot()
+		if s.Gauges["f"] != 42 {
+			t.Errorf("func gauge = %d", s.Gauges["f"])
+		}
+		_ = s.Flatten()
+	}
+	close(stop)
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["c"] == 0 || s.Histograms["h"].Count == 0 {
+		t.Fatal("no updates recorded")
+	}
+	if s.Counters["c"] != s.Histograms["h"].Count {
+		t.Fatalf("counter %d != histogram count %d", s.Counters["c"], s.Histograms["h"].Count)
+	}
+}
+
+func TestFlattenAndNames(t *testing.T) {
+	r := NewRegistry(1)
+	r.Counter("a").Inc(0)
+	r.Gauge("b").Set(-3)
+	r.Histogram("c").Observe(0, 8)
+	s := r.Snapshot()
+	f := s.Flatten()
+	if f["a"] != 1 || f["b"] != -3 || f["c.count"] != 1 || f["c.sum"] != 8 {
+		t.Fatalf("flatten = %v", f)
+	}
+	names := s.Names()
+	if strings.Join(names, ",") != "a,b,c" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	t0 := time.Now()
+	evs := []ChromeEvent{
+		{Name: "recv", Cat: "comm", Phase: "X", Start: t0.Add(5 * time.Microsecond), Dur: time.Microsecond, Pid: 1, Tid: 0},
+		{Name: "task", Cat: "task", Phase: "X", Start: t0, Dur: 3 * time.Microsecond, Pid: 0, Tid: 2, Args: map[string]any{"key": 7}},
+		{Name: "send", Cat: "comm", Phase: "i", Start: t0.Add(time.Microsecond), Pid: 0, Tid: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("%d events", len(doc.TraceEvents))
+	}
+	// Rebased: the earliest event starts at ts 0 and events are sorted.
+	if ts := doc.TraceEvents[0]["ts"].(float64); ts != 0 {
+		t.Fatalf("first ts = %v", ts)
+	}
+	if doc.TraceEvents[2]["name"] != "recv" {
+		t.Fatalf("order wrong: %v", doc.TraceEvents)
+	}
+	if doc.TraceEvents[1]["s"] != "t" {
+		t.Fatalf("instant scope missing: %v", doc.TraceEvents[1])
+	}
+}

@@ -81,7 +81,7 @@ func TestPanicBecomesTaskError(t *testing.T) {
 				}
 				var panics int64
 				for _, w := range r.Workers() {
-					panics += w.Stats.Panics
+					panics += w.Stats.Panics.Load()
 				}
 				if panics != 1 {
 					t.Fatalf("recorded %d panics, want 1", panics)
@@ -126,7 +126,7 @@ func TestAbortDrainsWithoutExecuting(t *testing.T) {
 	}
 	var discarded int64
 	for _, w := range r.Workers() {
-		discarded += w.Stats.Discarded
+		discarded += w.Stats.Discarded.Load()
 	}
 	if discarded != n {
 		t.Fatalf("discarded %d tasks, want %d", discarded, n)

@@ -23,16 +23,25 @@ func (p *Pool) Get(w *Worker) *Task {
 	if t := p.priv; t != nil {
 		p.priv = t.next
 		t.next = nil
+		if m := w.mx; m != nil {
+			m.poolTaskHit.Inc(w.htSlot)
+		}
 		return t
 	}
 	if head := p.shared.Swap(nil); head != nil {
 		w.countAtomic(&w.Atomics.Pool)
 		p.priv = head.next
 		head.next = nil
+		if m := w.mx; m != nil {
+			m.poolTaskHit.Inc(w.htSlot)
+		}
 		return head
 	}
 	p.allocs++
 	w.countAtomic(&w.Atomics.Alloc) // system allocator synchronization
+	if m := w.mx; m != nil {
+		m.poolTaskMiss.Inc(w.htSlot)
+	}
 	return &Task{pool: p}
 }
 
@@ -69,15 +78,24 @@ func (p *copyPool) get(w *Worker) *Copy {
 	if c := p.priv; c != nil {
 		p.priv = c.next
 		c.next = nil
+		if m := w.mx; m != nil {
+			m.poolCopyHit.Inc(w.htSlot)
+		}
 		return c
 	}
 	if head := p.shared.Swap(nil); head != nil {
 		w.countAtomic(&w.Atomics.Pool)
 		p.priv = head.next
 		head.next = nil
+		if m := w.mx; m != nil {
+			m.poolCopyHit.Inc(w.htSlot)
+		}
 		return head
 	}
 	w.countAtomic(&w.Atomics.Alloc)
+	if m := w.mx; m != nil {
+		m.poolCopyMiss.Inc(w.htSlot)
+	}
 	return &Copy{pool: p}
 }
 

@@ -310,7 +310,7 @@ func TestInlineFromRuntimeLevel(t *testing.T) {
 	if maxDepth > cfg.MaxInlineDepth+1 {
 		t.Fatalf("inline depth reached %d, cap %d", maxDepth, cfg.MaxInlineDepth)
 	}
-	if r.Workers()[0].Stats.Inlined == 0 {
+	if r.Workers()[0].Stats.Inlined.Load() == 0 {
 		t.Fatal("nothing inlined")
 	}
 }

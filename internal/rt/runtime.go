@@ -1,6 +1,9 @@
 package rt
 
 import (
+	"context"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -23,10 +26,12 @@ type Runtime struct {
 
 	service [3]*Worker
 	trace   *tracer
+	mx      *rtMetrics
 
 	done    atomic.Bool
 	doneCh  chan struct{}
 	started atomic.Bool
+	joined  atomic.Bool // workers have terminated and been joined
 	wg      sync.WaitGroup
 
 	// Fault-tolerance state. aborting flips once, on the first Abort; from
@@ -89,9 +94,18 @@ func (r *Runtime) SchedulerName() string { return r.sched.Name() }
 
 // NewRW builds a reader-writer lock honoring Config.BiasedRWLock, with one
 // reader slot per worker plus the service identities. Frontends use it for
-// their discovery hash tables.
+// their discovery hash tables. With metrics enabled, BRAVO locks report
+// their fast-path/slow-path RLock split into the runtime registry
+// (aggregated across all locks built by this runtime).
 func (r *Runtime) NewRW() rwlock.RW {
-	return rwlock.New(r.cfg.BiasedRWLock, r.cfg.Workers+len(r.service))
+	l := rwlock.New(r.cfg.BiasedRWLock, r.cfg.Workers+len(r.service))
+	if r.mx != nil {
+		if b, ok := l.(*rwlock.BRAVO); ok {
+			b.SetMetrics(r.mx.reg.Counter("rwlock.rlock.fast"),
+				r.mx.reg.Counter("rwlock.rlock.slow"))
+		}
+	}
+	return l
 }
 
 // Start launches the workers. In single-process mode (the default) the
@@ -108,11 +122,16 @@ func (r *Runtime) Start(distributed bool) {
 	if !distributed {
 		r.Det.SetOnQuiescent(func() { r.SignalDone() })
 	}
+	sched := r.sched.Name()
 	for _, w := range r.workers {
 		r.wg.Add(1)
 		go func(w *Worker) {
 			defer r.wg.Done()
-			w.run()
+			// Label the goroutine so CPU/goroutine profiles split by worker
+			// and scheduler ("ttg-worker" selects all of them in pprof).
+			pprof.Do(context.Background(),
+				pprof.Labels("ttg-worker", strconv.Itoa(w.ID), "ttg-sched", sched),
+				func(context.Context) { w.run() })
 		}(w)
 	}
 }
@@ -149,15 +168,22 @@ func (r *Runtime) Done() <-chan struct{} { return r.doneCh }
 func (r *Runtime) WaitDone() {
 	<-r.doneCh
 	r.wg.Wait()
+	r.joined.Store(true)
 }
 
-// Stats aggregates per-worker statistics. Only safe after WaitDone (the
-// per-worker fields are owner-written plain integers).
+// Joined reports whether all workers have terminated and been joined —
+// the point after which owner-private state (trace logs, CountAtomics
+// categories) may be read safely.
+func (r *Runtime) Joined() bool { return r.joined.Load() }
+
+// Stats aggregates per-worker statistics. The per-worker fields are
+// atomics, so this is safe to call at any time — mid-run it returns a live
+// (per-field consistent) view; after WaitDone the final totals.
 func (r *Runtime) Stats() (exec, steals, parks int64) {
 	for _, w := range r.workers {
-		exec += w.Stats.Executed
-		steals += w.Stats.Steals
-		parks += w.Stats.Parks
+		exec += w.Stats.Executed.Load()
+		steals += w.Stats.Steals.Load()
+		parks += w.Stats.Parks.Load()
 	}
 	return
 }
@@ -228,15 +254,16 @@ func (r *Runtime) discard(w *Worker, t *Task) {
 // CopyBalance reports data copies obtained (pool or heap) versus fully
 // released, across workers and service identities. After WaitDone — on a
 // clean run or an aborted one — the two must match; any difference is a
-// leaked, still-referenced copy. Only safe once workers have joined.
+// leaked, still-referenced copy. Mid-run reads are race-free (atomics) but
+// the balance is only meaningful once workers have joined.
 func (r *Runtime) CopyBalance() (got, put int64) {
 	for _, w := range r.workers {
-		got += w.Stats.CopiesGot
-		put += w.Stats.CopiesPut
+		got += w.Stats.CopiesGot.Load()
+		put += w.Stats.CopiesPut.Load()
 	}
 	for _, w := range r.service {
-		got += w.Stats.CopiesGot
-		put += w.Stats.CopiesPut
+		got += w.Stats.CopiesGot.Load()
+		put += w.Stats.CopiesPut.Load()
 	}
 	return
 }
@@ -244,17 +271,19 @@ func (r *Runtime) CopyBalance() (got, put int64) {
 // TaskBalance is CopyBalance for task objects (NewTask versus FreeTask).
 func (r *Runtime) TaskBalance() (got, put int64) {
 	for _, w := range r.workers {
-		got += w.Stats.TasksGot
-		put += w.Stats.TasksPut
+		got += w.Stats.TasksGot.Load()
+		put += w.Stats.TasksPut.Load()
 	}
 	for _, w := range r.service {
-		got += w.Stats.TasksGot
-		put += w.Stats.TasksPut
+		got += w.Stats.TasksGot.Load()
+		put += w.Stats.TasksPut.Load()
 	}
 	return
 }
 
-// Atomics aggregates the per-worker atomic-operation accounting.
+// Atomics aggregates the per-worker atomic-operation accounting. The
+// categories are plain owner-written integers (the model-validation path
+// avoids extra synchronization by design), so call only after WaitDone.
 func (r *Runtime) Atomics() AtomicCounts {
 	var a AtomicCounts
 	for _, w := range r.workers {

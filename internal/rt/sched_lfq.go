@@ -156,7 +156,7 @@ func (s *lfq) Steal(wid int) *Task {
 	n := len(s.bufs)
 	for _, v := range stealOrder(w, n, w.victimBuf()) {
 		if t := s.popBuf(w, &s.bufs[v]); t != nil {
-			w.Stats.Steals++
+			w.Stats.Steals.Add(1)
 			return t
 		}
 	}

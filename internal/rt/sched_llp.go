@@ -75,10 +75,14 @@ func (q *llpQueue) pop(w *Worker) *Task {
 		return nil
 	}
 	h := q.head.Swap(nil)
+	// The Swap is an atomic RMW whether or not it won the race with a
+	// stealer — account it unconditionally or the N_OP-per-task model is
+	// fed an undercount (empty-queue polls above never reach the Swap and
+	// correctly cost nothing).
+	w.countAtomic(&w.Atomics.Sched)
 	if h == nil {
 		return nil // lost to a stealer between the check and the swap
 	}
-	w.countAtomic(&w.Atomics.Sched)
 	if rest := h.next; rest != nil {
 		// Owner-only reattach: nothing can have been pushed meanwhile
 		// (pushes are owner-only and the owner is here).
@@ -94,10 +98,10 @@ func (q *llpQueue) stealAll(w *Worker) *Task {
 	if q.head.Load() == nil {
 		return nil
 	}
+	// As in pop: the Swap RMW happened even if another thief emptied the
+	// queue first, so it is accounted unconditionally.
 	h := q.head.Swap(nil)
-	if h != nil {
-		w.countAtomic(&w.Atomics.Sched)
-	}
+	w.countAtomic(&w.Atomics.Sched)
 	return h
 }
 
@@ -219,7 +223,7 @@ func (s *llp) Steal(wid int) *Task {
 	n := len(s.queues)
 	for _, v := range stealOrder(w, n, w.victimBuf()) {
 		if chain := s.queues[v].stealAll(w); chain != nil {
-			w.Stats.Steals++
+			w.Stats.Steals.Add(1)
 			rest := chain.next
 			chain.next = nil
 			if rest != nil {

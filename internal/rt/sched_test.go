@@ -219,7 +219,7 @@ func TestLLPSchedulerStealAdoptsChain(t *testing.T) {
 	if s.Pop(1) == nil {
 		t.Fatal("adopted chain missing from thief's queue")
 	}
-	if got := r.Workers()[1].Stats.Steals; got != 1 {
+	if got := r.Workers()[1].Stats.Steals.Load(); got != 1 {
 		t.Fatalf("steal count = %d", got)
 	}
 	// Victim's queue is now empty; its own pop misses.

@@ -144,7 +144,7 @@ func (c *Copy) Retain(w *Worker) {
 func (c *Copy) Release(w *Worker) {
 	w.countAtomic(&w.Atomics.CopyRef)
 	if c.refs.Add(-1) == 0 {
-		w.Stats.CopiesPut++
+		w.Stats.CopiesPut.Add(1)
 		c.Val = nil
 		if c.pool != nil {
 			c.pool.put(w, c)

@@ -1,9 +1,11 @@
 package rt
 
 import (
-	"encoding/json"
+	"fmt"
 	"io"
 	"time"
+
+	"gottg/internal/metrics"
 )
 
 // Named lets frontends label their template-task descriptors for tracing
@@ -30,11 +32,10 @@ type TraceEvent struct {
 // worker appends only to its own slice.
 type tracer struct {
 	perWorker [][]TraceEvent
-	epoch     time.Time
 }
 
 func newTracer(workers int) *tracer {
-	return &tracer{perWorker: make([][]TraceEvent, workers), epoch: time.Now()}
+	return &tracer{perWorker: make([][]TraceEvent, workers)}
 }
 
 // EnableTracing switches on per-task tracing. Must be called before Start;
@@ -49,7 +50,7 @@ func (r *Runtime) EnableTracing() {
 // recordNamed appends a trace event to the worker's private log. The task
 // object itself may already be recycled when this runs; callers capture the
 // TT descriptor and key before execution.
-func (w *Worker) recordNamed(tt any, key uint64, start time.Time, inlined bool) {
+func (w *Worker) recordNamed(tt any, key uint64, start time.Time, dur time.Duration, inlined bool) {
 	tr := w.rt.trace
 	name := "?"
 	if n, ok := tt.(Named); ok {
@@ -60,14 +61,16 @@ func (w *Worker) recordNamed(tt any, key uint64, start time.Time, inlined bool) 
 		Key:     key,
 		Worker:  w.ID,
 		Start:   start,
-		Dur:     time.Since(start),
+		Dur:     dur,
 		Inlined: inlined,
 	})
 }
 
-// Trace returns all recorded events (only safe after WaitDone).
+// Trace returns all recorded events. The per-worker logs are owner-written
+// without synchronization, so this refuses to read them until the workers
+// have been joined (WaitDone); before that it returns nil.
 func (r *Runtime) Trace() []TraceEvent {
-	if r.trace == nil {
+	if r.trace == nil || !r.joined.Load() {
 		return nil
 	}
 	var out []TraceEvent
@@ -77,43 +80,45 @@ func (r *Runtime) Trace() []TraceEvent {
 	return out
 }
 
-// chromeEvent is the Chrome trace-viewer "complete event" record.
-type chromeEvent struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"`  // microseconds
-	Dur  float64           `json:"dur"` // microseconds
-	Pid  int               `json:"pid"`
-	Tid  int               `json:"tid"`
-	Args map[string]uint64 `json:"args,omitempty"`
-}
-
-// WriteChromeTrace dumps the recorded events in Chrome trace-viewer JSON
-// (load via chrome://tracing or Perfetto). Only safe after WaitDone.
-func (r *Runtime) WriteChromeTrace(w io.Writer) error {
-	if r.trace == nil {
+// ChromeEvents converts the recorded task events into Chrome trace-viewer
+// records (pid distinguishes ranks when merging traces from several
+// processes; tid is the worker ID). Only valid after WaitDone; returns nil
+// before the workers are joined.
+func (r *Runtime) ChromeEvents(pid int) []metrics.ChromeEvent {
+	if r.trace == nil || !r.joined.Load() {
 		return nil
 	}
-	var evs []chromeEvent
+	var evs []metrics.ChromeEvent
 	for wid, list := range r.trace.perWorker {
 		for _, e := range list {
 			cat := "task"
 			if e.Inlined {
 				cat = "task,inlined"
 			}
-			evs = append(evs, chromeEvent{
-				Name: e.Name,
-				Cat:  cat,
-				Ph:   "X",
-				Ts:   float64(e.Start.Sub(r.trace.epoch).Nanoseconds()) / 1e3,
-				Dur:  float64(e.Dur.Nanoseconds()) / 1e3,
-				Pid:  0,
-				Tid:  wid,
-				Args: map[string]uint64{"key": e.Key},
+			evs = append(evs, metrics.ChromeEvent{
+				Name:  e.Name,
+				Cat:   cat,
+				Phase: "X",
+				Start: e.Start,
+				Dur:   e.Dur,
+				Pid:   pid,
+				Tid:   wid,
+				Args:  map[string]any{"key": e.Key},
 			})
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]any{"traceEvents": evs})
+	return evs
+}
+
+// WriteChromeTrace dumps the recorded events in Chrome trace-viewer JSON
+// (load via chrome://tracing or Perfetto). Only safe after WaitDone; returns
+// an error before the workers are joined.
+func (r *Runtime) WriteChromeTrace(w io.Writer) error {
+	if r.trace == nil {
+		return nil
+	}
+	if !r.joined.Load() {
+		return fmt.Errorf("rt: WriteChromeTrace before WaitDone")
+	}
+	return metrics.WriteChromeTrace(w, r.ChromeEvents(0))
 }

@@ -3,6 +3,7 @@ package rt
 import (
 	"runtime"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,24 +39,28 @@ func (a *AtomicCounts) add(o *AtomicCounts) {
 	a.Alloc += o.Alloc
 }
 
-// WorkerStats are per-worker execution statistics.
+// WorkerStats are per-worker execution statistics. Fields are atomics —
+// writes come only from the owning worker (uncontended, so the atomic add
+// stays on a worker-private cache line), but reads are safe from any
+// goroutine at any time, which is what lets Runtime.Stats and the metrics
+// endpoint poll a live run without a data race.
 type WorkerStats struct {
-	Executed int64 // tasks executed from the scheduler (excludes inlined)
-	Steals   int64 // successful steals
-	Parks    int64 // times the worker slept after spinning
-	Inlined  int64 // tasks executed inline at the discovery site
+	Executed atomic.Int64 // tasks executed from the scheduler (excludes inlined)
+	Steals   atomic.Int64 // successful steals
+	Parks    atomic.Int64 // times the worker slept after spinning
+	Inlined  atomic.Int64 // tasks executed inline at the discovery site
 
-	// Object-lifetime accounting (plain owner-only counters): obtained
-	// versus fully released/freed. Summed across workers after a run, got
-	// must equal put or the run leaked objects — the invariant the
-	// fault-tolerance paths (abort drain, panic cleanup) must preserve.
-	TasksGot  int64
-	TasksPut  int64
-	CopiesGot int64
-	CopiesPut int64
+	// Object-lifetime accounting: obtained versus fully released/freed.
+	// Summed across workers after a run, got must equal put or the run
+	// leaked objects — the invariant the fault-tolerance paths (abort
+	// drain, panic cleanup) must preserve.
+	TasksGot  atomic.Int64
+	TasksPut  atomic.Int64
+	CopiesGot atomic.Int64
+	CopiesPut atomic.Int64
 
-	Discarded int64 // tasks disposed of without execution (abort drain)
-	Panics    int64 // task bodies that panicked and were isolated
+	Discarded atomic.Int64 // tasks disposed of without execution (abort drain)
+	Panics    atomic.Int64 // task bodies that panicked and were isolated
 }
 
 // Worker is one runtime execution thread. Worker methods must only be
@@ -81,7 +86,9 @@ type Worker struct {
 	Stats   WorkerStats
 
 	rngState    uint64
-	count       bool // cached Config.CountAtomics
+	count       bool       // cached Config.CountAtomics
+	mx          *rtMetrics // non-nil when Runtime.EnableMetrics was called
+	mxTick      uint64     // task counter driving latency sampling
 	inlineDepth int
 	victims     []int // scratch for steal-order scans
 
@@ -142,17 +149,20 @@ func (w *Worker) Runtime() *Runtime { return w.rt }
 
 // NewTask obtains a task object (recycled when pools are enabled).
 func (w *Worker) NewTask() *Task {
-	w.Stats.TasksGot++
+	w.Stats.TasksGot.Add(1)
 	if w.rt.cfg.UsePools {
 		return w.TaskPool.Get(w)
 	}
 	w.countAtomic(&w.Atomics.Alloc)
+	if m := w.mx; m != nil {
+		m.poolTaskMiss.Inc(w.htSlot)
+	}
 	return &Task{}
 }
 
 // FreeTask recycles a task to its owning pool (or drops it for the GC).
 func (w *Worker) FreeTask(t *Task) {
-	w.Stats.TasksPut++
+	w.Stats.TasksPut.Add(1)
 	if t.pool != nil {
 		t.pool.Put(w, t)
 	}
@@ -161,11 +171,14 @@ func (w *Worker) FreeTask(t *Task) {
 // NewCopy wraps a value in a reference-counted copy with refcount 1.
 func (w *Worker) NewCopy(v any) *Copy {
 	var c *Copy
-	w.Stats.CopiesGot++
+	w.Stats.CopiesGot.Add(1)
 	if w.rt.cfg.UsePools {
 		c = w.copies.get(w)
 	} else {
 		w.countAtomic(&w.Atomics.Alloc)
+		if m := w.mx; m != nil {
+			m.poolCopyMiss.Inc(w.htSlot)
+		}
 		c = &Copy{}
 	}
 	c.Val = v
@@ -177,6 +190,9 @@ func (w *Worker) NewCopy(v any) *Copy {
 // queue. Service workers (which own no queue) route through the runtime's
 // injection queue instead.
 func (w *Worker) Schedule(t *Task) {
+	if m := w.mx; m != nil {
+		m.schedPush.Inc(w.htSlot)
+	}
 	if w.ID < 0 {
 		w.rt.Inject(t)
 		return
@@ -186,6 +202,9 @@ func (w *Worker) Schedule(t *Task) {
 
 // ScheduleChain pushes a pre-sorted chain of n ready tasks at once.
 func (w *Worker) ScheduleChain(head *Task, n int) {
+	if m := w.mx; m != nil {
+		m.schedPush.Add(w.htSlot, uint64(n))
+	}
 	if w.ID < 0 {
 		for head != nil {
 			next := head.next
@@ -217,6 +236,21 @@ func (w *Worker) Completed() {
 
 // parkSleep is the idle-poll interval once spinning gives up.
 const parkSleep = 50 * time.Microsecond
+
+// taskSampleMask selects which executions feed the task-latency histogram
+// when metrics are on: 1 in 64, so the two clock reads that bracket a timed
+// execution stay off the common path. For µs-scale tasks, timing every one
+// costs ~10% throughput; sampling keeps the metrics layer under the <5%
+// overhead budget while the counters remain exact. (Tracing still times
+// every task — it is an explicitly paid-for debugging mode.)
+const taskSampleMask = 63
+
+// sampleTick advances the latency-sampling counter and reports whether this
+// execution should be timed for the histogram.
+func (w *Worker) sampleTick() bool {
+	w.mxTick++
+	return w.mxTick&taskSampleMask == 0
+}
 
 // run is the worker main loop.
 func (w *Worker) run() {
@@ -253,7 +287,10 @@ func (w *Worker) run() {
 					runtime.Gosched()
 				}
 			} else {
-				w.Stats.Parks++
+				w.Stats.Parks.Add(1)
+				if m := w.mx; m != nil {
+					m.schedPark.Inc(w.htSlot)
+				}
 				time.Sleep(parkSleep)
 			}
 		}
@@ -261,23 +298,38 @@ func (w *Worker) run() {
 	}
 }
 
-// execute runs one task, recording a trace event when tracing is enabled.
-// After an Abort, dequeued tasks are discarded instead of executed.
+// execute runs one task, recording a trace event when tracing is enabled
+// and a latency sample when metrics are enabled. After an Abort, dequeued
+// tasks are discarded instead of executed.
 func (w *Worker) execute(t *Task) {
 	if w.rt.aborting.Load() {
-		w.Stats.Discarded++
+		w.Stats.Discarded.Add(1)
+		if m := w.mx; m != nil {
+			m.discarded.Inc(w.htSlot)
+		}
 		w.rt.discard(w, t)
 		return
 	}
-	if w.rt.trace != nil {
+	m := w.mx
+	sampled := m != nil && w.sampleTick()
+	if w.rt.trace != nil || sampled {
 		start := time.Now()
 		tt, key := t.TT, t.Key() // t is recycled inside Exec; capture first
 		w.invoke(t)
-		w.recordNamed(tt, key, start, false)
+		dur := time.Since(start)
+		if w.rt.trace != nil {
+			w.recordNamed(tt, key, start, dur, false)
+		}
+		if sampled {
+			m.taskNs.Observe(w.htSlot, uint64(dur.Nanoseconds()))
+		}
 	} else {
 		w.invoke(t)
 	}
-	w.Stats.Executed++
+	if m != nil {
+		m.executed.Inc(w.htSlot)
+	}
+	w.Stats.Executed.Add(1)
 }
 
 // invoke runs one task's Exec with panic isolation: a panicking body is
@@ -291,7 +343,10 @@ func (w *Worker) invoke(t *Task) {
 			return
 		}
 		err := newTaskError(t, r, debug.Stack())
-		w.Stats.Panics++
+		w.Stats.Panics.Add(1)
+		if m := w.mx; m != nil {
+			m.panics.Inc(w.htSlot)
+		}
 		// Ready tasks deferred (bundled) before the panic are accounted as
 		// discovered; push them so the drain can settle them.
 		w.FlushDeferred()
@@ -341,15 +396,26 @@ func (w *Worker) TryInline(t *Task) bool {
 		return false
 	}
 	w.inlineDepth++
-	if w.rt.trace != nil {
+	m := w.mx
+	sampled := m != nil && w.sampleTick()
+	if w.rt.trace != nil || sampled {
 		start := time.Now()
 		tt, key := t.TT, t.Key()
 		w.invoke(t)
-		w.recordNamed(tt, key, start, true)
+		dur := time.Since(start)
+		if w.rt.trace != nil {
+			w.recordNamed(tt, key, start, dur, true)
+		}
+		if sampled {
+			m.taskNs.Observe(w.htSlot, uint64(dur.Nanoseconds()))
+		}
 	} else {
 		w.invoke(t)
 	}
-	w.Stats.Inlined++
+	if m != nil {
+		m.inlined.Inc(w.htSlot)
+	}
+	w.Stats.Inlined.Add(1)
 	w.inlineDepth--
 	return true
 }
@@ -357,10 +423,22 @@ func (w *Worker) TryInline(t *Task) bool {
 // findTask sources work: local queue, injected tasks, then stealing.
 func (w *Worker) findTask() *Task {
 	if t := w.rt.sched.Pop(w.ID); t != nil {
+		if m := w.mx; m != nil {
+			m.schedPop.Inc(w.htSlot)
+		}
 		return t
 	}
 	if t := w.rt.inject.pop(); t != nil {
+		if m := w.mx; m != nil {
+			m.schedInject.Inc(w.htSlot)
+		}
 		return t
 	}
-	return w.rt.sched.Steal(w.ID)
+	if t := w.rt.sched.Steal(w.ID); t != nil {
+		if m := w.mx; m != nil {
+			m.schedSteal.Inc(w.htSlot)
+		}
+		return t
+	}
+	return nil
 }

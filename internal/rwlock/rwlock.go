@@ -19,6 +19,7 @@
 package rwlock
 
 import (
+	"gottg/internal/metrics"
 	"gottg/internal/xsync"
 )
 
@@ -102,6 +103,12 @@ type BRAVO struct {
 	rbias xsync.PaddedUint32 // 1 => readers may use the fast path
 	slots []xsync.PaddedUint32
 	under RW
+
+	// Optional observability (SetMetrics): fast counts RLocks that took the
+	// zero-RMW biased path, slow those that fell through to the underlying
+	// lock. Sharded by reader slot, so enabling them costs one uncontended
+	// atomic add per RLock; nil (the default) costs one predictable branch.
+	fast, slow *metrics.Counter
 }
 
 // NewBRAVO returns a BRAVO-wrapped lock with `threads` reader slots on top of
@@ -127,10 +134,16 @@ func (l *BRAVO) RLock(slot int) {
 	if l.rbias.V.Load() == 1 {
 		l.slots[slot].V.Store(1)
 		if l.rbias.V.Load() == 1 {
+			if l.fast != nil {
+				l.fast.Inc(slot)
+			}
 			return // fast path taken; visible via our slot
 		}
 		// A writer arrived between the two checks: retract and fall back.
 		l.slots[slot].V.Store(0)
+	}
+	if l.slow != nil {
+		l.slow.Inc(slot)
 	}
 	l.under.RLock(slot)
 }
@@ -165,6 +178,13 @@ func (l *BRAVO) Unlock() {
 
 // Name implements RW.
 func (l *BRAVO) Name() string { return "bravo(" + l.under.Name() + ")" }
+
+// SetMetrics installs sharded fast-path/slow-path RLock counters (pass the
+// same pair to every lock sharing a registry; counts aggregate). Install
+// before the lock sees concurrent use.
+func (l *BRAVO) SetMetrics(fast, slow *metrics.Counter) {
+	l.fast, l.slow = fast, slow
+}
 
 // New constructs the lock variant selected by `biased`, sized for `threads`
 // reader slots. This is the switch the runtime Config.BiasedRWLock flips.

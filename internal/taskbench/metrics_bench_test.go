@@ -1,0 +1,48 @@
+package taskbench
+
+import (
+	"testing"
+
+	"gottg/internal/rt"
+)
+
+// The overhead acceptance gate for the unified metrics layer: with metrics
+// enabled, Task-Bench throughput on 1k-cycle tasks must stay within a few
+// percent of the uninstrumented run. Compare:
+//
+//	go test ./internal/taskbench -run - -bench 'TTGStencilMetrics' -benchtime 5x
+//
+// and check the ns/op ratio between the Off and On variants.
+func metricsBenchSpec() Spec {
+	return Spec{Pattern: Stencil1D, Width: 16, Steps: 500, Flops: 1000}
+}
+
+func metricsBenchRunner() TTGRunner {
+	return TTGRunner{Label: "TTG LLP", Cfg: func(t int) rt.Config {
+		cfg := rt.OptimizedConfig(t)
+		cfg.PinWorkers = false
+		return cfg
+	}}
+}
+
+func BenchmarkTTGStencilMetricsOff(b *testing.B) {
+	spec, r := metricsBenchSpec(), metricsBenchRunner()
+	tasks := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := r.Run(spec, 2)
+		tasks += int64(res.Tasks)
+	}
+	b.ReportMetric(float64(tasks)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+func BenchmarkTTGStencilMetricsOn(b *testing.B) {
+	spec, r := metricsBenchSpec(), metricsBenchRunner()
+	tasks := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := r.RunInstrumented(spec, 2)
+		tasks += int64(res.Tasks)
+	}
+	b.ReportMetric(float64(tasks)/b.Elapsed().Seconds(), "tasks/s")
+}

@@ -9,6 +9,7 @@ import (
 	"gottg/internal/core"
 	"gottg/internal/dtd"
 	"gottg/internal/legionlike"
+	"gottg/internal/metrics"
 	"gottg/internal/mpilike"
 	"gottg/internal/omptask"
 	"gottg/internal/ptg"
@@ -66,7 +67,22 @@ func (r TTGRunner) Supports(Pattern) bool { return true }
 
 // Run implements Runner.
 func (r TTGRunner) Run(s Spec, threads int) Result {
+	res, _ := r.run(s, threads, false)
+	return res
+}
+
+// RunInstrumented is Run with the unified metrics layer enabled; it returns
+// the merged post-run metric snapshot alongside the result (the BENCH JSON
+// path of cmd/taskbench and cmd/ttg-bench).
+func (r TTGRunner) RunInstrumented(s Spec, threads int) (Result, metrics.Snapshot) {
+	return r.run(s, threads, true)
+}
+
+func (r TTGRunner) run(s Spec, threads int, instrument bool) (Result, metrics.Snapshot) {
 	g := core.New(r.Cfg(threads))
+	if instrument {
+		g.EnableMetrics()
+	}
 	ePoint := core.NewEdge("point")
 	eBack := core.NewEdge("writeback")
 
@@ -123,7 +139,8 @@ func (r TTGRunner) Run(s Spec, threads int) Result {
 		g.Invoke(point, core.Pack2(0, uint32(p)), &pointVal{P: p})
 	}
 	g.Wait()
-	return Result{Elapsed: time.Since(t0), Checksum: checksum, Tasks: s.TotalTasks()}
+	res := Result{Elapsed: time.Since(t0), Checksum: checksum, Tasks: s.TotalTasks()}
+	return res, g.MetricsSnapshot()
 }
 
 // PTGRunner implements Task-Bench over the PTG frontend: activation counts
