@@ -30,6 +30,10 @@ var (
 	flagList    = flag.Bool("list", false, "list available runners and exit")
 	flagRanks   = flag.Int("ranks", 0, "run the TTG implementation across N simulated ranks instead")
 	flagJSON    = flag.Bool("json", false, "emit BENCH records as JSON lines instead of text (TTG runners include a metric snapshot)")
+
+	flagKillRank  = flag.Int("kill-rank", -1, "fail-stop this rank mid-run (requires -ranks; enables fault tolerance)")
+	flagKillAfter = flag.Int64("kill-after", 8, "kill the victim after it has executed this many tasks")
+	flagPrune     = flag.Bool("prune", true, "prune replay logs as downstream ranks quiesce (with -kill-rank)")
 )
 
 // emitRecord prints one BENCH JSON record for a finished run.
@@ -67,6 +71,42 @@ func main() {
 	var want float64
 	if *flagVerify {
 		want = spec.Reference()
+	}
+	if *flagRanks > 0 && *flagKillRank >= 0 {
+		// Fault-tolerant run with one rank fail-stopped mid-run: the
+		// survivors re-home its keys and re-execute its tasks, so the
+		// checksum must still match the sequential reference.
+		res, rep := taskbench.RunDistributedTTGFT(spec, taskbench.FTOptions{
+			Ranks:          *flagRanks,
+			Workers:        *flagThreads,
+			KillRank:       *flagKillRank,
+			KillAfterTasks: *flagKillAfter,
+			Pruning:        *flagPrune,
+		})
+		if *flagVerify && res.Checksum != want {
+			fmt.Fprintf(os.Stderr, "CHECKSUM MISMATCH (got %v want %v)\n", res.Checksum, want)
+			os.Exit(1)
+		}
+		if *flagJSON {
+			emitRecord("TTG distributed FT", *flagThreads, *flagRanks, res, spec, map[string]float64{
+				"comm.rank_deaths":      float64(rep.Deaths),
+				"termdet.wave_restarts": float64(rep.WaveRestarts),
+				"core.tasks_reexecuted": float64(rep.Reexecuted),
+				"core.keys_remapped":    float64(rep.Remapped),
+				"core.replays_pruned":   float64(rep.Pruned),
+			})
+			return
+		}
+		status := ""
+		if *flagVerify {
+			status = "  checksum OK"
+		}
+		fmt.Printf("%-44s %10d tasks  %12v total  %10v/task%s\n",
+			fmt.Sprintf("TTG distributed FT (%d ranks, killed %d)", *flagRanks, *flagKillRank),
+			res.Tasks, res.Elapsed, res.PerTask(), status)
+		fmt.Printf("  deaths=%d wave_restarts=%d reexecuted=%d remapped=%d pruned=%d keymap=%v\n",
+			rep.Deaths, rep.WaveRestarts, rep.Reexecuted, rep.Remapped, rep.Pruned, rep.Keymap)
+		return
 	}
 	if *flagRanks > 0 {
 		res := taskbench.RunDistributedTTG(spec, *flagRanks, *flagThreads)

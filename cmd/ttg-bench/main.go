@@ -7,6 +7,7 @@
 //
 //	ttg-bench [flags] fig1|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|model|all
 //	ttg-bench [-json] bench            # LLP vs LFQ smoke matrix, BENCH records
+//	ttg-bench chaos                    # fail-stop recovery demo (docs/ROBUSTNESS.md)
 //	ttg-bench validate [files...]      # validate BENCH record streams
 //
 // Thread-scaling figures print `measured` series for thread counts the host
@@ -80,7 +81,7 @@ func (c *ctx) measurableThreads(list []int) []int {
 func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: ttg-bench [flags] fig1|fig2|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|model|all|bench|validate [files...]")
+		fmt.Fprintln(os.Stderr, "usage: ttg-bench [flags] fig1|fig2|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|model|chaos|all|bench|validate [files...]")
 		os.Exit(2)
 	}
 	spin.SetClockGHz(*flagGHz)
@@ -134,6 +135,8 @@ func main() {
 			fig12(c)
 		case "model":
 			figModel(c)
+		case "chaos":
+			figChaos(c)
 		case "all":
 			fig1(c)
 			fig5(c)

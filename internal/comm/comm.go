@@ -38,6 +38,9 @@ const (
 	tagTerminate = -3 // root -> all: global termination
 	tagAbort     = -4 // any -> all: abort notification with a reason payload
 	tagAck       = -5 // link layer: cumulative ack (never itself sequenced)
+	tagHeartbeat = -6 // failure detection: liveness beacon (never sequenced)
+	tagRankDead  = -7 // coordinator -> all: rank a confirmed dead, epoch ep
+	tagPrune     = -8 // receiver -> sender: a app messages dispatched; replay log prefix is durable
 )
 
 // Handler processes an application-level active message on the destination
@@ -49,6 +52,7 @@ type message struct {
 	tag     int
 	payload []byte
 	a, b    int64 // control fields for wave messages
+	ep      int64 // membership epoch / wave round stamp (epoch<<32 | round)
 	seq     int64 // link-layer sequence number; 0 = unsequenced (direct)
 }
 
@@ -98,6 +102,16 @@ type World struct {
 
 	stallAfter time.Duration
 	onStall    func(rank int, summary string)
+
+	// Fail-stop failure detection state (see failure.go). fd is set by
+	// EnableFailureDetection before Start; deadWire[r] flips when rank r is
+	// killed and makes the wire drop every message to or from it, modelling a
+	// crashed node whose NIC goes silent. deaths and waveRestarts feed the
+	// comm.rank_deaths / termdet.wave_restarts metrics.
+	fd           *FDConfig
+	deadWire     []atomic.Bool
+	deaths       atomic.Int64
+	waveRestarts atomic.Int64
 
 	// closed flips in Shutdown: from then on the wire discards every
 	// transmission instead of delivering it, so nothing repopulates the
@@ -185,6 +199,9 @@ type Proc struct {
 	onTerminate func()
 	onError     func(err error)
 	onAbort     func(src int, reason string)
+	onRankDead  func(dead, epoch int)   // progress goroutine, after membership update
+	onKilled    func()                  // any goroutine, when this rank is fail-stopped
+	onPrune     func(src int, n int64)  // progress goroutine: src dispatched n of our app sends
 
 	// Link-layer state. sendLinks is indexed by destination and guarded by
 	// its per-link mutex (Send may be called from any goroutine); recvLinks
@@ -198,8 +215,29 @@ type Proc struct {
 	stalled      bool
 	dropped      int64 // unknown-tag messages dropped (diagnostics)
 
-	// non-root wave state (progress-goroutine-private)
-	replyOwed bool
+	// Failure-detection state. epoch is atomic so applications can read it
+	// from any goroutine (Epoch); everything else is progress-goroutine
+	// private. deadView is this rank's view of confirmed-dead membership,
+	// lastHeard the per-peer liveness horizon, lastBeat the last heartbeat
+	// broadcast.
+	epoch     atomic.Int64
+	deadView  []bool
+	lastHeard []time.Time
+	suspected []bool // scratch, recomputed each fdTick
+	lastBeat  time.Time
+
+	// Replay-log pruning state: appDispatched[src] counts application
+	// messages from src released to dispatch, pruneNotified[src] the count
+	// last advertised back to src via tagPrune.
+	pruneOn       bool
+	appDispatched []int64
+	pruneNotified []int64
+
+	// non-root wave state (progress-goroutine-private). owedStamp is the
+	// round stamp of the latest probe that caught this rank busy; 0 = none.
+	// The stamp is echoed in the reply so a restarted wave can discard
+	// contributions that belong to an abandoned round.
+	owedStamp int64
 
 	// root wave state (progress-goroutine-private)
 	inRound      bool
@@ -237,6 +275,27 @@ func (p *Proc) SetOnError(f func(err error)) { p.onError = f }
 // remote rank broadcasts an abort. Must be called before Start.
 func (p *Proc) SetOnAbort(f func(src int, reason string)) { p.onAbort = f }
 
+// SetOnRankDead installs a hook invoked on the progress goroutine after this
+// rank has confirmed a peer's death and updated its membership view (links to
+// the dead rank reset, epoch bumped, wave state cleared). Recovery layers
+// redirect logged in-flight data from here. Must be called before Start.
+func (p *Proc) SetOnRankDead(f func(dead, epoch int)) { p.onRankDead = f }
+
+// SetOnKilled installs a hook invoked when this rank itself is fail-stopped
+// via World.KillRank, before its progress goroutine is torn down. It may run
+// on any goroutine. Must be called before Start.
+func (p *Proc) SetOnKilled(f func()) { p.onKilled = f }
+
+// SetOnPrune installs a hook invoked on the progress goroutine when a peer
+// advertises how many of our application sends it has dispatched, making the
+// corresponding replay-log prefix prunable. Must be called before Start.
+func (p *Proc) SetOnPrune(f func(src int, n int64)) { p.onPrune = f }
+
+// EnablePruneNotices makes this rank advertise, at each local quiescence with
+// an empty retransmit queue, how many application messages it has dispatched
+// per sender (tagPrune). Must be called before Start.
+func (p *Proc) EnablePruneNotices() { p.pruneOn = true }
+
 // Start attaches the rank's termination detector and termination callback
 // and launches the progress goroutine. The detector's quiescence callback is
 // claimed by comm; runtimes in distributed mode must not set their own.
@@ -252,6 +311,23 @@ func (p *Proc) Start(det *termdet.Detector, onTerminate func()) {
 			p.sendLinks[i].unacked = map[int64]*pendingSend{}
 			p.recvLinks[i].expected = 1
 		}
+	}
+	if p.world.fd != nil {
+		n := len(p.world.procs)
+		det.EnablePeerCounts(n)
+		p.deadView = make([]bool, n)
+		p.suspected = make([]bool, n)
+		p.lastHeard = make([]time.Time, n)
+		now := time.Now()
+		for i := range p.lastHeard {
+			p.lastHeard[i] = now // grace period: nobody is suspect at start
+		}
+		p.lastBeat = now
+	}
+	if p.pruneOn {
+		n := len(p.world.procs)
+		p.appDispatched = make([]int64, n)
+		p.pruneNotified = make([]int64, n)
 	}
 	det.SetOnQuiescent(func() {
 		select {
@@ -269,7 +345,7 @@ func (p *Proc) Send(dst, tag int, payload []byte) {
 	if tag < 0 {
 		panic("comm: application sends must use tag >= 0")
 	}
-	p.det.MsgSent()
+	p.det.MsgSentTo(dst)
 	if m := p.world.mx; m != nil {
 		m.sent.Inc(p.rank)
 		m.bytesSent.Add(p.rank, uint64(len(payload)))
@@ -280,12 +356,13 @@ func (p *Proc) Send(dst, tag int, payload []byte) {
 	p.post(dst, message{src: p.rank, tag: tag, payload: payload})
 }
 
-// sendControl delivers a wave control message (not counted).
-func (p *Proc) sendControl(dst, tag int, a, b int64) {
+// sendControl delivers a wave control message (not counted). ep carries the
+// membership-epoch/round stamp for probe/reply matching; 0 when irrelevant.
+func (p *Proc) sendControl(dst, tag int, a, b, ep int64) {
 	if m := p.world.mx; m != nil {
 		m.ctrl.Inc(p.rank)
 	}
-	p.post(dst, message{src: p.rank, tag: tag, a: a, b: b})
+	p.post(dst, message{src: p.rank, tag: tag, a: a, b: b, ep: ep})
 }
 
 // Abort broadcasts an abort notification with a reason to every other rank.
@@ -343,6 +420,9 @@ func (p *Proc) progress() {
 		case <-tickC:
 			p.retransmit()
 			p.checkStall()
+			if p.world.fd != nil {
+				p.fdTick(time.Now())
+			}
 		case <-p.mbox.note:
 			buf = p.mbox.drain(buf)
 			for _, m := range buf {
@@ -363,16 +443,23 @@ func (p *Proc) progress() {
 // sequenced messages are deduplicated and released to dispatch strictly
 // in-order per link, and everything else goes straight through.
 func (p *Proc) receive(m message) {
+	if p.deadView != nil && m.src != p.rank {
+		if p.deadView[m.src] {
+			// A confirmed-dead rank's leftover traffic is dropped unacked and
+			// uncounted; its data is regenerated by recovery re-execution.
+			return
+		}
+		p.lastHeard[m.src] = time.Now()
+	}
 	if m.tag == tagAck {
 		p.handleAck(m.src, m.a)
 		return
 	}
-	if m.seq == 0 { // unsequenced: self-send, or the link layer is off
+	if m.seq == 0 { // unsequenced: self-send, heartbeat, or link layer off
 		p.dispatch(m)
 		return
 	}
 	p.lastActivity = time.Now()
-	p.stalled = false
 	l := &p.recvLinks[m.src]
 	switch {
 	case m.seq < l.expected:
@@ -387,6 +474,11 @@ func (p *Proc) receive(m message) {
 		l.ooo[m.seq] = m
 		p.sendAck(m.src, l.expected-1)
 	default:
+		// In-order delivery is the only inbound event that counts as forward
+		// progress; it re-arms the stall latch so a *second* stall episode is
+		// reported too. Duplicates and out-of-order holds above deliberately
+		// do not — they stream in constantly on a half-dead link.
+		p.stalled = false
 		p.dispatch(m)
 		l.expected++
 		for {
@@ -464,14 +556,17 @@ func (p *Proc) retransmit() {
 func (p *Proc) dispatch(m message) bool {
 	switch m.tag {
 	case tagProbe:
+		if stampEpoch(m.ep) != p.epoch.Load() {
+			return false // probe from an abandoned membership epoch
+		}
 		if p.det.Quiescent() {
-			s, r := p.det.Counts()
-			p.sendControl(0, tagReply, s, r)
+			s, r := p.localCounts()
+			p.sendControl(m.src, tagReply, s, r, m.ep)
 		} else {
-			p.replyOwed = true
+			p.owedStamp = m.ep // latest probe wins; reply echoes its stamp
 		}
 	case tagReply:
-		p.collectReply(m.a, m.b)
+		p.collectReply(m)
 	case tagTerminate:
 		if !p.terminated {
 			p.terminated = true
@@ -484,6 +579,16 @@ func (p *Proc) dispatch(m message) bool {
 		if p.onAbort != nil {
 			p.onAbort(m.src, string(m.payload))
 		}
+	case tagHeartbeat:
+		// Liveness beacon: receive() already refreshed lastHeard. The dead
+		// set gossiped in a converges membership if a rankDead was missed.
+		p.applyGossip(m.a)
+	case tagRankDead:
+		p.applyRankDead(int(m.a))
+	case tagPrune:
+		if p.onPrune != nil {
+			p.onPrune(m.src, m.a)
+		}
 	default:
 		h := p.handlers[m.tag]
 		if h == nil {
@@ -491,11 +596,14 @@ func (p *Proc) dispatch(m message) bool {
 			// progress goroutine: count the message (the wave needs it),
 			// drop it, and surface the problem through the error hook.
 			p.dropped++
-			p.det.MsgRecvd()
+			p.det.MsgRecvdFrom(m.src)
 			if p.onError != nil {
 				p.onError(fmt.Errorf("comm: rank %d: dropped message from rank %d with unknown tag %d", p.rank, m.src, m.tag))
 			}
 			return false
+		}
+		if p.appDispatched != nil {
+			p.appDispatched[m.src]++
 		}
 		if mx := p.world.mx; mx != nil {
 			mx.recvd.Inc(p.rank)
@@ -508,9 +616,45 @@ func (p *Proc) dispatch(m message) bool {
 		} else {
 			h(m.src, m.payload)
 		}
-		p.det.MsgRecvd()
+		p.det.MsgRecvdFrom(m.src)
 	}
 	return false
+}
+
+// stampEpoch extracts the membership epoch from a wave stamp.
+func stampEpoch(stamp int64) int64 { return stamp >> 32 }
+
+// root returns the current wave coordinator: the lowest-ranked live process.
+// With no failure detection this is always rank 0.
+func (p *Proc) root() int {
+	if p.deadView != nil {
+		for r, dead := range p.deadView {
+			if !dead {
+				return r
+			}
+		}
+	}
+	return 0
+}
+
+// liveCount returns how many ranks this process believes are alive.
+func (p *Proc) liveCount() int {
+	n := len(p.world.procs)
+	for _, dead := range p.deadView {
+		if dead {
+			n--
+		}
+	}
+	return n
+}
+
+// localCounts returns this rank's wave contribution, excluding traffic
+// exchanged with confirmed-dead peers (whose own counters are lost forever).
+func (p *Proc) localCounts() (s, r int64) {
+	if p.deadView != nil {
+		return p.det.CountsExcluding(p.deadView)
+	}
+	return p.det.Counts()
 }
 
 // handleQuiescent runs when the local detector announces quiescence.
@@ -518,14 +662,21 @@ func (p *Proc) handleQuiescent() {
 	if !p.det.Quiescent() {
 		return // stale notification; work arrived meanwhile
 	}
-	if p.replyOwed {
-		p.replyOwed = false
-		s, r := p.det.Counts()
-		p.sendControl(0, tagReply, s, r)
+	if p.owedStamp != 0 {
+		stamp := p.owedStamp
+		p.owedStamp = 0
+		if stampEpoch(stamp) == p.epoch.Load() {
+			s, r := p.localCounts()
+			p.sendControl(p.root(), tagReply, s, r, stamp)
+		}
+		// An owed reply from a pre-death epoch is discarded: the restarted
+		// wave will re-probe, and a stale contribution must not be counted
+		// against the new round.
 	}
-	if p.rank == 0 && !p.inRound {
+	if p.rank == p.root() && !p.inRound {
 		p.startRound()
 	}
+	p.maybePrune()
 }
 
 func (p *Proc) startRound() {
@@ -534,16 +685,23 @@ func (p *Proc) startRound() {
 	p.rounds.Add(1)
 	p.replies = 0
 	p.sumS, p.sumR = 0, 0
+	stamp := p.epoch.Load()<<32 | int64(uint32(p.roundNum))
 	for dst := range p.world.procs {
-		p.sendControl(dst, tagProbe, 0, 0)
+		if p.deadView != nil && p.deadView[dst] {
+			continue
+		}
+		p.sendControl(dst, tagProbe, 0, 0, stamp)
 	}
 }
 
-func (p *Proc) collectReply(s, r int64) {
+func (p *Proc) collectReply(m message) {
+	if m.ep != p.epoch.Load()<<32|int64(uint32(p.roundNum)) || !p.inRound {
+		return // contribution to an abandoned round (e.g. pre-restart)
+	}
 	p.replies++
-	p.sumS += s
-	p.sumR += r
-	if p.replies < len(p.world.procs) {
+	p.sumS += m.a
+	p.sumR += m.b
+	if p.replies < p.liveCount() {
 		return
 	}
 	// Reduction complete: terminate after two consecutive identical
@@ -554,7 +712,10 @@ func (p *Proc) collectReply(s, r int64) {
 	p.inRound = false
 	if stable {
 		for dst := range p.world.procs {
-			p.sendControl(dst, tagTerminate, 0, 0)
+			if p.deadView != nil && p.deadView[dst] {
+				continue
+			}
+			p.sendControl(dst, tagTerminate, 0, 0, 0)
 		}
 		return
 	}

@@ -124,6 +124,12 @@ func (w *World) transmit(dst int, m message) {
 	if w.closed.Load() {
 		return
 	}
+	// A fail-stopped rank's wire is silent in both directions: nothing it
+	// sends gets out (including in-flight retransmissions racing the kill)
+	// and nothing addressed to it gets in.
+	if w.deadWire != nil && (w.deadWire[m.src].Load() || w.deadWire[dst].Load()) {
+		return
+	}
 	if w.dropF != nil && w.dropF(m.src, dst, m.tag) {
 		if mx := w.mx; mx != nil {
 			mx.faultDrop.Inc(m.src)
@@ -189,6 +195,9 @@ func (w *World) deliverLater(box *mailbox, m message, delay time.Duration) {
 		w.timerMu.Unlock()
 		if w.closed.Load() {
 			return
+		}
+		if w.deadWire != nil && w.deadWire[m.src].Load() {
+			return // the sender was killed while this delivery was in flight
 		}
 		box.push(m)
 	})

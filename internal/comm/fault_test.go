@@ -212,6 +212,53 @@ func TestStallWatchdogSurfacesDiagnostics(t *testing.T) {
 	h.world.Shutdown()
 }
 
+func TestStallWatchdogRearmsAfterRecovery(t *testing.T) {
+	// Regression: the stall latch used to stay set after the first episode,
+	// so a link that stalled, recovered, and stalled again surfaced only one
+	// diagnostic. Genuine forward progress (an ack releasing sends, or an
+	// in-order delivery) must re-arm the watchdog.
+	h := newHarness(2)
+	var hole atomic.Bool
+	hole.Store(true)
+	h.world.SetDropFilter(func(src, dst, tag int) bool {
+		return hole.Load() && src == 0 && dst == 1 && tag >= 0
+	})
+	h.world.SetRetransmitTimeout(time.Millisecond)
+	stalls := make(chan string, 4)
+	h.world.SetStallHandler(20*time.Millisecond, func(rank int, summary string) {
+		select {
+		case stalls <- summary:
+		default:
+		}
+	})
+	h.world.Proc(1).Register(0, func(int, []byte) {})
+	h.dets[0].Discovered(termdet.ExternalSlot)
+	h.start()
+
+	// Episode one: the message disappears into the hole until the watchdog
+	// fires.
+	h.world.Proc(0).Send(1, 0, []byte("first"))
+	select {
+	case <-stalls:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first stall episode never surfaced")
+	}
+	// Recovery: open the link; the pending retransmit gets through and its
+	// ack clears the latch.
+	hole.Store(false)
+	time.Sleep(50 * time.Millisecond)
+	// Episode two: a fresh message into a re-closed hole must surface again.
+	hole.Store(true)
+	h.world.Proc(0).Send(1, 0, []byte("second"))
+	select {
+	case <-stalls:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second stall episode never surfaced: the watchdog latch was not re-armed")
+	}
+	h.dets[0].Completed(termdet.ExternalSlot)
+	h.world.Shutdown()
+}
+
 func TestAbortBroadcastReachesAllRanks(t *testing.T) {
 	// Proc.Abort must reach every other rank exactly once per sender, even
 	// over a faulty wire.

@@ -56,6 +56,8 @@ func (w *World) EnableMetrics() *metrics.Registry {
 		faultReorder: reg.Counter("comm.fault.reordered"),
 	}
 	reg.Func("comm.rounds", func() int64 { return w.procs[0].rounds.Load() })
+	reg.Func("comm.rank_deaths", w.Deaths)
+	reg.Func("termdet.wave_restarts", w.WaveRestarts)
 	return reg
 }
 

@@ -46,6 +46,10 @@ type Graph struct {
 	rank int
 	size int
 
+	// ft holds the fail-stop recovery state (nil unless
+	// EnableFaultTolerance); see recover.go.
+	ft *ftState
+
 	// mx holds the graph-level sharded counters (nil when metrics are off);
 	// see EnableMetrics.
 	mx *graphMetrics
@@ -148,8 +152,20 @@ func (g *Graph) MakeExecutable() {
 		}
 	}
 	g.rtm.BeginAction() // seed guard, released by Wait
+	if g.ft != nil {
+		for _, tt := range g.tts {
+			if tt.mapFn == nil {
+				panic(fmt.Sprintf(
+					"ttg: EnableFaultTolerance requires a mapper on every TT (%s has none): unmapped tasks cannot be re-homed after a rank failure", tt.name))
+			}
+		}
+	}
 	if g.size > 1 {
-		g.proc.Register(activationTag, g.handleActivation)
+		handler := g.handleActivation
+		if g.ft != nil {
+			handler = g.handleActivationFT
+		}
+		g.proc.Register(activationTag, handler)
 		g.proc.SetOnAbort(func(src int, reason string) {
 			g.rtm.Abort(fmt.Errorf("ttg: aborted by rank %d: %s", src, reason))
 		})
@@ -204,6 +220,13 @@ func (g *Graph) seed(tt *TT, slot int, key uint64, c *rt.Copy) {
 	// Seeding after a timed-out WaitFor is allowed: the graph is still
 	// running (it has pending tasks), so termination cannot race the seed.
 	if g.size > 1 && tt.mapFn != nil && tt.mapFn(key) != g.rank {
+		if g.ft != nil {
+			// SPMD: every rank sees every seed, so instead of dropping a
+			// remote-owned one, retain it — if its owner dies, the successor
+			// re-delivers it from this log.
+			g.ft.logSeed(sw, tt, slot, key, c)
+			return
+		}
 		if c != nil {
 			c.Release(sw) // another rank owns this seed
 		}
@@ -282,6 +305,19 @@ func (g *Graph) EnableMetrics() *metrics.Registry {
 			htInsert:   reg.Counter("core.ht.insert"),
 			htRemove:   reg.Counter("core.ht.remove"),
 		}
+		reg.Func("core.errors_suppressed", g.rtm.SuppressedErrors)
+		reg.Func("core.tasks_reexecuted", func() int64 {
+			if ft := g.ft; ft != nil {
+				return ft.reexec.Load()
+			}
+			return 0
+		})
+		reg.Func("core.keys_remapped", func() int64 {
+			if ft := g.ft; ft != nil {
+				return ft.remapped.Load()
+			}
+			return 0
+		})
 	}
 	return reg
 }

@@ -157,6 +157,11 @@ func (tt *TT) newTask(w *rt.Worker, key uint64) *rt.Task {
 	}
 	t.ArmDeps(tt.totalDeps(key))
 	tt.created.Add(1)
+	if ft := tt.g.ft; ft != nil && tt.mapFn != nil && tt.mapFn(key) != tt.g.rank {
+		// A task instance for a key this rank does not statically own can
+		// only exist here because the owner died and its keys were re-homed.
+		ft.reexec.Add(1)
+	}
 	return t
 }
 
@@ -165,6 +170,15 @@ func (tt *TT) newTask(w *rt.Worker, key uint64) *rt.Task {
 // completion for termination detection.
 func ttExecute(w *rt.Worker, t *rt.Task) {
 	tt := t.TT.(*TT)
+	if ft := tt.g.ft; ft != nil {
+		// Identify the executing task on this worker identity so its sends
+		// get deterministic activation ids. Save/restore handles inlined
+		// child executions nesting on the same worker stack.
+		sc := &ft.srcCtx[w.HTSlot()]
+		saved := *sc
+		*sc = ftSendCtx{active: true, ttID: uint32(tt.id), key: t.Key()}
+		defer func() { *sc = saved }()
+	}
 	tt.body(TaskContext{w: w, t: t, tt: tt})
 	for i := 0; i < tt.nIn; i++ {
 		c := t.Input(i)
@@ -213,6 +227,10 @@ func (g *Graph) deliver(w *rt.Worker, d dest, key uint64, c *rt.Copy, owned bool
 		}
 		return
 	}
+	if g.ft != nil {
+		g.deliverFT(w, d, key, c, owned)
+		return
+	}
 	tt := d.tt
 	if g.size > 1 && tt.mapFn != nil {
 		if r := tt.mapFn(key); r != g.rank {
@@ -220,6 +238,58 @@ func (g *Graph) deliver(w *rt.Worker, d dest, key uint64, c *rt.Copy, owned bool
 			return
 		}
 	}
+	g.deliverLocal(w, d, key, c, owned)
+}
+
+// deliverFT is deliver's fault-tolerant variant: derive the send's
+// deterministic activation id from the executing source task, resolve the
+// owner through the RecoveryKeymap, and — once any rank has died — dedup
+// local deliveries against the journal so replayed activations regenerated by
+// re-executed producers are applied at most once.
+func (g *Graph) deliverFT(w *rt.Worker, d dest, key uint64, c *rt.Copy, owned bool) {
+	ft := g.ft
+	tt := d.tt
+	if g.rtm.Terminated() {
+		// Late replay into a finished graph (survivors already terminated).
+		if c != nil && owned {
+			c.Release(w)
+		}
+		return
+	}
+	var id uint64
+	if sc := &ft.srcCtx[w.HTSlot()]; sc.active {
+		sc.idx++
+		if sc.ttID != uint32(tt.id) || sc.key != key {
+			id = ftActID(sc.ttID, sc.key, sc.idx, uint32(tt.id), uint32(d.slot), key)
+		}
+		// else: a send to the task's own (TT, key) is a deliberate requeue —
+		// a fresh instance of itself, e.g. MRA's reconstruct waiting for
+		// re-homed state. It gets no activation id: every requeue hop must be
+		// delivered (each new execution would regenerate the same id and be
+		// deduplicated into a lost task), and the chain is strictly local
+		// (same key ⇒ same owner), so skipping the journal loses nothing.
+	}
+	if tt.mapFn != nil {
+		// A stale route read can only point at a just-dead rank; ft.send
+		// re-resolves under the membership lock before transmitting.
+		if dst := int(ft.route[tt.mapFn(key)].Load()); dst != g.rank {
+			g.remoteSendFT(w, tt, d.slot, key, c, owned, id)
+			return
+		}
+	}
+	if id != 0 && ft.anyDead.Load() && !ft.firstTime(id) {
+		if c != nil && owned {
+			c.Release(w)
+		}
+		return
+	}
+	g.deliverLocal(w, d, key, c, owned)
+}
+
+// deliverLocal attaches one datum to the local pending-task table (or
+// bypasses it for single-input TTs); the discovery half of deliver.
+func (g *Graph) deliverLocal(w *rt.Worker, d dest, key uint64, c *rt.Copy, owned bool) {
+	tt := d.tt
 	if c == nil && tt.slots[d.slot].kind != slotPlain {
 		panic(fmt.Sprintf("ttg: %s: control-flow send into %s terminal %d",
 			tt.name, map[slotKind]string{slotAggregate: "aggregator", slotStreaming: "streaming"}[tt.slots[d.slot].kind], d.slot))

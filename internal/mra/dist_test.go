@@ -1,9 +1,11 @@
 package mra
 
 import (
+	"errors"
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"gottg/internal/comm"
 	"gottg/internal/core"
@@ -96,6 +98,134 @@ func TestDistributedMRAMatchesShared(t *testing.T) {
 	want := sharedRes.Stats
 	if total.Leaves != want.Leaves || total.Interior != want.Interior || total.MaxDepth != want.MaxDepth {
 		t.Fatalf("distributed tree %+v differs from shared %+v", total, want)
+	}
+	if math.Abs(total.SNorm2-want.SNorm2) > 1e-9*(1+want.SNorm2) {
+		t.Fatalf("coefficient norms differ: %v vs %v", total.SNorm2, want.SNorm2)
+	}
+	if leavesReconstructed != want.Leaves {
+		t.Fatalf("reconstructed %d of %d leaves", leavesReconstructed, want.Leaves)
+	}
+	if badRecon != 0 {
+		t.Fatalf("%d leaves reconstructed incorrectly", badRecon)
+	}
+}
+
+func TestDistributedMRASurvivesRankFailure(t *testing.T) {
+	// Kill one rank mid-run; the survivors must re-home its octants,
+	// re-execute its tasks from the replayed seeds and in-flight data, and
+	// produce a tree identical to the shared-memory run. The victim's
+	// rank-local forest is discarded (its state is partial), so aggregation
+	// runs over survivors only. Replay pruning stays OFF: MRA tasks have
+	// rank-local side effects (forest nodes) that die with the rank, so
+	// consumed inputs must stay replayable.
+	p := smallProblem(2)
+	_, sharedRes := Run(p, ttgCfg(2))
+
+	const (
+		ranks  = 4
+		victim = 1
+	)
+	world := comm.NewWorld(ranks)
+	world.EnableFailureDetection(comm.FDConfig{SuspectAfter: 400 * time.Millisecond})
+	forests := make([]*Forest, ranks)
+	graphs := make([]*core.Graph, ranks)
+	mras := make([]*Graph, ranks)
+	b := NewBasis(p.K)
+	for r := 0; r < ranks; r++ {
+		forests[r] = &Forest{}
+		cfg := rt.OptimizedConfig(1)
+		cfg.PinWorkers = false
+		graphs[r] = core.NewDistributed(cfg, world.Proc(r))
+		graphs[r].EnableFaultTolerance()
+		mras[r] = NewGraph(graphs[r], p, b, forests[r])
+		mras[r].Distribute(ranks)
+	}
+
+	stop := make(chan struct{})
+	go func() {
+		vr := graphs[victim].Runtime()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(100 * time.Microsecond):
+			}
+			if exec, _, _ := vr.Stats(); exec >= 5 {
+				world.KillRank(victim)
+				return
+			}
+		}
+	}()
+
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			graphs[r].MakeExecutable()
+			mras[r].Seed() // SPMD: every rank seeds; owners keep
+			errs[r] = graphs[r].Wait()
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	deaths := world.Deaths()
+	world.Shutdown()
+
+	if !errors.Is(errs[victim], core.ErrRankKilled) {
+		t.Fatalf("victim Wait() = %v, want ErrRankKilled", errs[victim])
+	}
+	for r := 0; r < ranks; r++ {
+		if r != victim && errs[r] != nil {
+			t.Fatalf("survivor rank %d Wait() = %v", r, errs[r])
+		}
+	}
+	if deaths != 1 {
+		t.Fatalf("confirmed %d deaths, want 1", deaths)
+	}
+	var reexec int64
+	for r := 0; r < ranks; r++ {
+		if r == victim {
+			continue
+		}
+		re, _, _ := graphs[r].RecoveryStats()
+		reexec += re
+	}
+	if reexec == 0 {
+		t.Fatal("no tasks were re-executed for the dead rank's octants")
+	}
+
+	var total Stats
+	leavesReconstructed := 0
+	badRecon := 0
+	for r := 0; r < ranks; r++ {
+		if r == victim {
+			continue
+		}
+		st := forests[r].Stats()
+		total.Leaves += st.Leaves
+		total.Interior += st.Interior
+		total.SNorm2 += st.SNorm2
+		if st.MaxDepth > total.MaxDepth {
+			total.MaxDepth = st.MaxDepth
+		}
+		forests[r].Range(func(_ uint64, nd *Node) bool {
+			if nd.Leaf && nd.HasR {
+				leavesReconstructed++
+				for i := range nd.S.Data {
+					if math.Abs(nd.S.Data[i]-nd.R.Data[i]) > 1e-9 {
+						badRecon++
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	want := sharedRes.Stats
+	if total.Leaves != want.Leaves || total.Interior != want.Interior || total.MaxDepth != want.MaxDepth {
+		t.Fatalf("recovered tree %+v differs from shared %+v", total, want)
 	}
 	if math.Abs(total.SNorm2-want.SNorm2) > 1e-9*(1+want.SNorm2) {
 		t.Fatalf("coefficient norms differ: %v vs %v", total.SNorm2, want.SNorm2)

@@ -177,7 +177,19 @@ func (m *Graph) reconBody(tc core.TaskContext) {
 	fi8, n8, lx, ly, lz := core.Unpack4D(key)
 	s := tc.Value(0).(*cubeMsg).S
 	nd := m.Forest.Lookup(key)
-	if nd == nil {
+	if nd == nil || (!nd.Leaf && !nd.HasD) {
+		if m.g.FaultTolerant() {
+			// After a rank failure this node's keys may have been re-homed
+			// here while the project/compress re-execution that materializes
+			// the node is still in flight — the reconstruct wave can overtake
+			// it, since the original compress phase already completed before
+			// the owner died. Requeue to a fresh instance of this same task
+			// until the recovered state catches up (self-requeues are exempt
+			// from duplicate suppression and strictly local).
+			time.Sleep(20 * time.Microsecond)
+			tc.Send(outReconDn, key, &cubeMsg{S: s})
+			return
+		}
 		// Every reconstruct target must exist locally: leaves and interior
 		// nodes are stored on the rank that owns them. Reaching an unknown
 		// node means the distribution placed data and tasks inconsistently

@@ -139,7 +139,7 @@ func TestAbortDrainsWithoutExecuting(t *testing.T) {
 	}
 }
 
-func TestAbortFirstErrorWinsAndHookFiresOnce(t *testing.T) {
+func TestAbortAggregatesErrorsAndHookFiresOnce(t *testing.T) {
 	r := New(Config{Workers: 1}.Normalize())
 	var hookCalls atomic.Int64
 	var hookErr error
@@ -148,20 +148,57 @@ func TestAbortFirstErrorWinsAndHookFiresOnce(t *testing.T) {
 		hookErr = err
 	})
 	first := errors.New("first")
+	second := errors.New("second")
 	r.Abort(first)
-	r.Abort(errors.New("second"))
+	r.Abort(second)
 	r.Abort(nil)
 	if !r.Aborting() {
 		t.Fatal("Aborting() false after Abort")
 	}
-	if r.Err() != first {
-		t.Fatalf("Err() = %v, want the first error", r.Err())
+	// Concurrent failures are aggregated, not truncated to the first cause.
+	if err := r.Err(); !errors.Is(err, first) || !errors.Is(err, second) {
+		t.Fatalf("Err() = %v, want both recorded errors joined", err)
 	}
 	if hookCalls.Load() != 1 {
 		t.Fatalf("abort hook fired %d times, want 1", hookCalls.Load())
 	}
 	if hookErr != first {
 		t.Fatalf("abort hook saw %v, want the first error", hookErr)
+	}
+	if r.SuppressedErrors() != 0 {
+		t.Fatalf("SuppressedErrors() = %d below the cap, want 0", r.SuppressedErrors())
+	}
+}
+
+func TestAbortSingleErrorIsPointerStable(t *testing.T) {
+	// With exactly one recorded reason Err must return it unwrapped, so
+	// callers that compare with == keep working.
+	r := New(Config{Workers: 1}.Normalize())
+	cause := errors.New("only")
+	r.Abort(cause)
+	if r.Err() != cause {
+		t.Fatalf("Err() = %v, want the identical error value", r.Err())
+	}
+}
+
+func TestAbortErrorCapCountsSuppressed(t *testing.T) {
+	r := New(Config{Workers: 1}.Normalize())
+	for i := 0; i < maxAbortErrors+5; i++ {
+		r.Abort(fmt.Errorf("failure %d", i))
+	}
+	if got := r.SuppressedErrors(); got != 5 {
+		t.Fatalf("SuppressedErrors() = %d, want 5", got)
+	}
+	err := r.Err()
+	if !errors.Is(err, err) || err == nil {
+		t.Fatal("Err() = nil after aborts")
+	}
+	// The first and the last retained reason are both present.
+	if !strings.Contains(err.Error(), "failure 0") || !strings.Contains(err.Error(), fmt.Sprintf("failure %d", maxAbortErrors-1)) {
+		t.Fatalf("joined error missing retained reasons:\n%v", err)
+	}
+	if strings.Contains(err.Error(), fmt.Sprintf("failure %d", maxAbortErrors)) {
+		t.Fatalf("joined error contains a reason past the cap:\n%v", err)
 	}
 }
 

@@ -2,6 +2,7 @@ package rt
 
 import (
 	"context"
+	"errors"
 	"runtime/pprof"
 	"strconv"
 	"sync"
@@ -37,13 +38,23 @@ type Runtime struct {
 	// Fault-tolerance state. aborting flips once, on the first Abort; from
 	// then on workers discard dequeued tasks instead of executing them
 	// (still accounting completions so termination detection stays sound).
-	aborting  atomic.Bool
-	errMu     sync.Mutex
-	firstErr  error
-	abortOnce sync.Once
-	onAbort   func(error)
-	dropFn    ExecFn
+	// Up to maxAbortErrors concurrent abort reasons are retained and joined;
+	// the overflow is counted in suppressed so multi-failure runs are not
+	// silently truncated.
+	aborting   atomic.Bool
+	errMu      sync.Mutex
+	errs       []error
+	joinedErr  error // cached errors.Join of errs; invalidated on append
+	suppressed atomic.Int64
+	abortOnce  sync.Once
+	onAbort    func(error)
+	dropFn     ExecFn
 }
+
+// maxAbortErrors bounds how many distinct abort reasons are retained. A
+// cascading failure can abort from thousands of tasks at once; keeping them
+// all would turn Err into an unbounded allocation.
+const maxAbortErrors = 16
 
 // New builds a runtime with the given configuration (workers are not started
 // yet; call Start).
@@ -201,17 +212,23 @@ func (r *Runtime) SetDropFn(fn ExecFn) { r.dropFn = fn }
 // tasks, notify remote ranks). Install before Start.
 func (r *Runtime) SetOnAbort(f func(error)) { r.onAbort = f }
 
-// Abort records err (first one wins) and switches the runtime into drain
-// mode: workers stop executing task bodies and instead discard everything
-// they dequeue, still accounting each completion so the termination
-// detector reaches quiescence and WaitDone returns. Safe from any
-// goroutine, idempotent.
+// Abort records err and switches the runtime into drain mode: workers stop
+// executing task bodies and instead discard everything they dequeue, still
+// accounting each completion so the termination detector reaches quiescence
+// and WaitDone returns. All reasons recorded before the cap are aggregated
+// by Err (errors.Join); later ones only bump the suppressed counter. Safe
+// from any goroutine, idempotent.
 func (r *Runtime) Abort(err error) {
-	r.errMu.Lock()
-	if r.firstErr == nil && err != nil {
-		r.firstErr = err
+	if err != nil {
+		r.errMu.Lock()
+		if len(r.errs) < maxAbortErrors {
+			r.errs = append(r.errs, err)
+			r.joinedErr = nil
+		} else {
+			r.suppressed.Add(1)
+		}
+		r.errMu.Unlock()
 	}
-	r.errMu.Unlock()
 	r.aborting.Store(true)
 	r.abortOnce.Do(func() {
 		if r.onAbort != nil {
@@ -223,12 +240,32 @@ func (r *Runtime) Abort(err error) {
 // Aborting reports whether the runtime is draining after an Abort.
 func (r *Runtime) Aborting() bool { return r.aborting.Load() }
 
-// Err returns the first error recorded by Abort (nil on a clean run).
+// Err returns the abort reason: nil on a clean run, the recorded error
+// itself when there was exactly one (callers may compare with == or
+// errors.Is interchangeably), or the errors.Join of every retained reason
+// when several failures raced.
 func (r *Runtime) Err() error {
 	r.errMu.Lock()
 	defer r.errMu.Unlock()
-	return r.firstErr
+	switch len(r.errs) {
+	case 0:
+		return nil
+	case 1:
+		return r.errs[0]
+	}
+	if r.joinedErr == nil {
+		r.joinedErr = errors.Join(r.errs...)
+	}
+	return r.joinedErr
 }
+
+// SuppressedErrors reports how many abort reasons were dropped after the
+// retention cap (the core.errors_suppressed metric).
+func (r *Runtime) SuppressedErrors() int64 { return r.suppressed.Load() }
+
+// Terminated reports whether global termination has been signaled. Recovery
+// layers use it to drop late replayed deliveries into a finished graph.
+func (r *Runtime) Terminated() bool { return r.done.Load() }
 
 // discard disposes of one task without running its body and accounts its
 // completion. Cleanup is best-effort (a panic inside the drop routine is

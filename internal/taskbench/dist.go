@@ -38,46 +38,7 @@ func RunDistributedTTG(s Spec, ranks, workersPerRank int) Result {
 	var lastMu sync.Mutex
 
 	build := func(g *core.Graph) *core.TT {
-		ePoint := core.NewEdge("point")
-		point := g.NewTT("Point", 1, 1, func(tc core.TaskContext) {
-			t, p := core.Unpack2(tc.Key())
-			agg := tc.Aggregate(0)
-			vals := make([]pointVal, 0, 8)
-			for i := 0; i < agg.Len(); i++ {
-				vals = append(vals, *agg.Value(i).(*pointVal))
-			}
-			for i := 1; i < len(vals); i++ { // insertion sort by origin
-				for j := i; j > 0 && vals[j-1].P > vals[j].P; j-- {
-					vals[j-1], vals[j] = vals[j], vals[j-1]
-				}
-			}
-			depVals := make([]float64, len(vals))
-			for i, v := range vals {
-				depVals[i] = v.V
-			}
-			if int(t) == 0 {
-				depVals = nil
-			}
-			v := s.Value(int(t), int(p), depVals)
-			if int(t) == s.Steps-1 {
-				lastMu.Lock()
-				lastVals[p] = v
-				lastMu.Unlock()
-				return
-			}
-			for _, q := range s.RDeps(int(t), int(p)) {
-				tc.Send(0, core.Pack2(t+1, uint32(q)), &pointVal{P: int(p), V: v})
-			}
-		}).WithAggregator(0, func(key uint64) int {
-			t, p := core.Unpack2(key)
-			if t == 0 {
-				return 1
-			}
-			return len(s.Deps(int(t), int(p)))
-		}).WithMapper(mapper)
-		point.Out(0, ePoint)
-		ePoint.To(point, 0)
-		return point
+		return buildPointTT(g, s, mapper, lastVals, &lastMu)
 	}
 
 	graphs := make([]*core.Graph, ranks)

@@ -1,0 +1,200 @@
+package taskbench
+
+import (
+	"sync"
+	"time"
+
+	"gottg/internal/comm"
+	"gottg/internal/core"
+	"gottg/internal/rt"
+)
+
+// buildPointTT wires the distributed Task-Bench Point TT into g: one task per
+// (timestep, point), aggregator input collecting the dependency values sorted
+// by origin, results of the last timestep written keyed by point into
+// lastVals (idempotent, so a re-executed task after a rank failure rewrites
+// the same value). Shared by the plain and the fault-tolerant runners.
+func buildPointTT(g *core.Graph, s Spec, mapper func(key uint64) int, lastVals []float64, lastMu *sync.Mutex) *core.TT {
+	ePoint := core.NewEdge("point")
+	point := g.NewTT("Point", 1, 1, func(tc core.TaskContext) {
+		t, p := core.Unpack2(tc.Key())
+		agg := tc.Aggregate(0)
+		vals := make([]pointVal, 0, 8)
+		for i := 0; i < agg.Len(); i++ {
+			vals = append(vals, *agg.Value(i).(*pointVal))
+		}
+		for i := 1; i < len(vals); i++ { // insertion sort by origin
+			for j := i; j > 0 && vals[j-1].P > vals[j].P; j-- {
+				vals[j-1], vals[j] = vals[j], vals[j-1]
+			}
+		}
+		depVals := make([]float64, len(vals))
+		for i, v := range vals {
+			depVals[i] = v.V
+		}
+		if int(t) == 0 {
+			depVals = nil
+		}
+		v := s.Value(int(t), int(p), depVals)
+		if int(t) == s.Steps-1 {
+			lastMu.Lock()
+			lastVals[p] = v
+			lastMu.Unlock()
+			return
+		}
+		for _, q := range s.RDeps(int(t), int(p)) {
+			tc.Send(0, core.Pack2(t+1, uint32(q)), &pointVal{P: int(p), V: v})
+		}
+	}).WithAggregator(0, func(key uint64) int {
+		t, p := core.Unpack2(key)
+		if t == 0 {
+			return 1
+		}
+		return len(s.Deps(int(t), int(p)))
+	}).WithMapper(mapper)
+	point.Out(0, ePoint)
+	ePoint.To(point, 0)
+	return point
+}
+
+// FTOptions parameterizes the fault-tolerant distributed runner.
+type FTOptions struct {
+	Ranks   int
+	Workers int
+	Sched   rt.SchedKind
+
+	// Plan optionally composes randomized message faults on the wire.
+	Plan *comm.FaultPlan
+	// RTO is the link retransmission timeout (default 1ms when a Plan is set).
+	RTO time.Duration
+
+	// KillRank fail-stops this rank once its runtime has executed
+	// KillAfterTasks tasks; -1 runs fault-free.
+	KillRank       int
+	KillAfterTasks int64
+
+	// Pruning enables replay-log pruning on every rank.
+	Pruning bool
+
+	// Failure-detection tuning (zero values take the comm defaults).
+	Heartbeat    time.Duration
+	SuspectAfter time.Duration
+}
+
+// FTReport describes what the fault path did during a run.
+type FTReport struct {
+	Errs         []error // per-rank Wait results
+	Deaths       int64
+	WaveRestarts int64
+	Reexecuted   int64
+	Remapped     int64
+	Pruned       int64
+	Keymap       []int // final RecoveryKeymap (from the lowest surviving rank)
+}
+
+// RunDistributedTTGFT is RunDistributedTTG with fail-stop fault tolerance:
+// failure detection on, recovery enabled on every rank's graph, and —
+// optionally — one rank killed mid-run after a task-count trigger. The
+// returned checksum must be bit-identical to Spec.Reference regardless of the
+// kill, with the victim's Wait reporting core.ErrRankKilled and every
+// survivor completing cleanly.
+func RunDistributedTTGFT(s Spec, o FTOptions) (Result, FTReport) {
+	ranks := o.Ranks
+	if ranks > s.Width {
+		ranks = s.Width
+	}
+	world := comm.NewWorld(ranks)
+	world.EnableFailureDetection(comm.FDConfig{
+		Heartbeat:    o.Heartbeat,
+		SuspectAfter: o.SuspectAfter,
+	})
+	if o.Plan != nil {
+		world.SetFaultPlan(*o.Plan)
+		rto := o.RTO
+		if rto <= 0 {
+			rto = time.Millisecond
+		}
+		world.SetRetransmitTimeout(rto)
+	} else if o.RTO > 0 {
+		world.SetRetransmitTimeout(o.RTO)
+	}
+	mapper := func(key uint64) int {
+		_, p := core.Unpack2(key)
+		return int(p) * ranks / s.Width
+	}
+
+	lastVals := make([]float64, s.Width)
+	var lastMu sync.Mutex
+
+	graphs := make([]*core.Graph, ranks)
+	points := make([]*core.TT, ranks)
+	for r := 0; r < ranks; r++ {
+		cfg := rt.OptimizedConfig(o.Workers)
+		cfg.PinWorkers = false
+		cfg.Sched = o.Sched
+		graphs[r] = core.NewDistributed(cfg, world.Proc(r))
+		graphs[r].EnableFaultTolerance()
+		if o.Pruning {
+			graphs[r].EnableReplayPruning()
+		}
+		points[r] = buildPointTT(graphs[r], s, mapper, lastVals, &lastMu)
+	}
+
+	stop := make(chan struct{})
+	if o.KillRank >= 0 && o.KillRank < ranks {
+		victim := graphs[o.KillRank].Runtime()
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(200 * time.Microsecond):
+				}
+				if exec, _, _ := victim.Stats(); exec >= o.KillAfterTasks {
+					world.KillRank(o.KillRank)
+					return
+				}
+			}
+		}()
+	}
+
+	errs := make([]error, ranks)
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			graphs[r].MakeExecutable()
+			for p := 0; p < s.Width; p++ { // SPMD seeding; owners keep
+				graphs[r].Invoke(points[r], core.Pack2(0, uint32(p)), &pointVal{P: p})
+			}
+			errs[r] = graphs[r].Wait()
+		}(r)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(stop)
+
+	rep := FTReport{
+		Errs:         errs,
+		Deaths:       world.Deaths(),
+		WaveRestarts: world.WaveRestarts(),
+	}
+	for r := 0; r < ranks; r++ {
+		re, rm, pr := graphs[r].RecoveryStats()
+		rep.Reexecuted += re
+		rep.Remapped += rm
+		rep.Pruned += pr
+		if rep.Keymap == nil && errs[r] == nil {
+			rep.Keymap = graphs[r].RecoveryKeymap()
+		}
+	}
+	world.Shutdown()
+
+	checksum := 0.0
+	for p := 0; p < s.Width; p++ {
+		checksum += lastVals[p]
+	}
+	return Result{Elapsed: elapsed, Checksum: checksum, Tasks: s.TotalTasks()}, rep
+}

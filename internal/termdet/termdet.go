@@ -49,6 +49,13 @@ type Detector struct {
 	threadLocal bool
 	cells       []xsync.Cell
 
+	// Per-peer message counters, allocated by EnablePeerCounts. They let the
+	// termination wave exclude traffic exchanged with a failed rank: a dead
+	// rank never reports its own counters, so any messages counted against it
+	// would unbalance sent/recvd forever and the wave would never stabilize.
+	sentTo    []atomic.Int64
+	recvdFrom []atomic.Int64
+
 	onQuiescent func()
 }
 
@@ -157,9 +164,55 @@ func (d *Detector) MsgSent() { d.sent.Add(1) }
 // MsgRecvd records a fully handled inbound inter-process message.
 func (d *Detector) MsgRecvd() { d.recvd.Add(1) }
 
+// EnablePeerCounts allocates per-peer message counters for a world of n
+// ranks. Must be called before any messages are counted (comm does this when
+// failure detection is enabled).
+func (d *Detector) EnablePeerCounts(n int) {
+	if d.sentTo == nil {
+		d.sentTo = make([]atomic.Int64, n)
+		d.recvdFrom = make([]atomic.Int64, n)
+	}
+}
+
+// MsgSentTo records an outbound message addressed to peer. Falls back to
+// MsgSent when per-peer counting is disabled.
+func (d *Detector) MsgSentTo(peer int) {
+	d.sent.Add(1)
+	if d.sentTo != nil {
+		d.sentTo[peer].Add(1)
+	}
+}
+
+// MsgRecvdFrom records a fully handled inbound message from peer.
+func (d *Detector) MsgRecvdFrom(peer int) {
+	d.recvd.Add(1)
+	if d.recvdFrom != nil {
+		d.recvdFrom[peer].Add(1)
+	}
+}
+
 // Counts returns the message counters contributed to the termination wave.
 func (d *Detector) Counts() (sent, recvd int64) {
 	return d.sent.Load(), d.recvd.Load()
+}
+
+// CountsExcluding returns the wave counters with all traffic exchanged with
+// ranks marked dead subtracted out. A fail-stop rank takes its own counters
+// to the grave; survivors must therefore stop counting messages to/from it or
+// the global sent==recvd balance can never be restored. Requires
+// EnablePeerCounts; with nil dead (or no dead ranks) it equals Counts.
+func (d *Detector) CountsExcluding(dead []bool) (sent, recvd int64) {
+	sent, recvd = d.sent.Load(), d.recvd.Load()
+	if d.sentTo == nil || dead == nil {
+		return sent, recvd
+	}
+	for peer, isDead := range dead {
+		if isDead {
+			sent -= d.sentTo[peer].Load()
+			recvd -= d.recvdFrom[peer].Load()
+		}
+	}
+	return sent, recvd
 }
 
 // PendingApprox returns the process-wide pending counter. In thread-local
@@ -193,5 +246,9 @@ func (d *Detector) Reset() {
 	d.flushes.Store(0)
 	for i := range d.cells {
 		d.cells[i].Delta = 0
+	}
+	for i := range d.sentTo {
+		d.sentTo[i].Store(0)
+		d.recvdFrom[i].Store(0)
 	}
 }

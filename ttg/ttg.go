@@ -108,6 +108,15 @@ type FaultPlan = comm.FaultPlan
 // Proc is one rank's communication endpoint.
 type Proc = comm.Proc
 
+// FDConfig tunes heartbeat failure detection (World.EnableFailureDetection);
+// zero values take the defaults. See comm.FDConfig.
+type FDConfig = comm.FDConfig
+
+// ErrRankKilled is returned by Graph.Wait on a rank that was fail-stopped
+// with World.KillRank; survivors re-home its keys and re-execute its tasks
+// when Graph.EnableFaultTolerance is on.
+var ErrRankKilled = core.ErrRankKilled
+
 // NewWorld creates an in-process world of n ranks for distributed runs.
 func NewWorld(n int) *World { return comm.NewWorld(n) }
 
