@@ -79,6 +79,44 @@ func figBench(c *ctx) {
 			}
 		}
 	}
+
+	// Distributed wire-path row: the same stencil over simulated ranks,
+	// reporting the coalescing factor (activations per wire message) and the
+	// message rate the batch layer sustains.
+	ranks, wpr := 4, 2
+	if ranks > spec.Width {
+		ranks = spec.Width
+	}
+	res, st := taskbench.RunDistributedTTGStats(spec, ranks, wpr)
+	if res.Checksum != want {
+		fmt.Fprintf(os.Stderr, "bench: TTG dist @%d ranks: checksum %v, want %v\n", ranks, res.Checksum, want)
+		os.Exit(1)
+	}
+	rec := bench.NewRecord("ttg-bench", "TTG dist", wpr, int64(res.Tasks), res.Elapsed)
+	rec.Ranks = ranks
+	rec.Config = map[string]any{
+		"pattern": spec.Pattern.String(),
+		"width":   spec.Width,
+		"steps":   spec.Steps,
+		"flops":   spec.Flops,
+	}
+	rec.Metrics = map[string]float64{
+		"comm.msgs.sent":    float64(st.Messages),
+		"comm.activations":  float64(st.Activations),
+		"comm.bytes.sent":   float64(st.BytesSent),
+		"comm.acts_per_msg": st.ActsPerMsg,
+		"comm.msgs_per_sec": st.MsgsPerSec,
+		"comm.acts_per_sec": st.ActsPerSec,
+	}
+	if *flagJSON {
+		if err := bench.WriteRecord(os.Stdout, rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("%-12s %2d ranks x%d  %8d tasks  %12.0f msgs/s  %9.2f acts/msg  (%d msgs, %d activations)\n",
+			"TTG dist", ranks, wpr, rec.Tasks, st.MsgsPerSec, st.ActsPerMsg, st.Messages, st.Activations)
+	}
 }
 
 // cmdValidate reads BENCH record streams from the given files ("-" or no

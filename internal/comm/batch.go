@@ -1,0 +1,287 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-destination activation coalescing: senders append activations into a
+// per-destination buffer (BatchBegin/BatchEnd) and the buffer ships as ONE
+// framed wire message, so N activations cost one mailbox push, one sequence
+// number, one ack, and one retransmit-queue entry instead of N of each.
+//
+// Frame layout:
+//
+//	[4B count] ( [4B len][entry bytes] ) x count     (little-endian)
+//
+// Flush rules: a buffer flushes when it reaches the size threshold
+// (SetBatchLimit, default DefaultBatchBytes), when a worker runs out of
+// local work (the runtime's flush-on-idle hook), on the progress goroutine's
+// tick, at local quiescence, and at World.Shutdown. Termination accounting
+// is per-activation at append time (BatchEnd counts MsgSentTo; the receiver
+// counts MsgRecvdFrom per delivered entry), so a buffered-but-uncounted
+// activation cannot exist and false termination is impossible — an unflushed
+// buffer merely keeps the wave unbalanced until a flush rule fires.
+//
+// Frame buffers come from a per-sender slab pool and are recycled once the
+// frame is provably done: on the perfect wire the receiver returns the slab
+// after dispatching it; on the reliable wire the sender reclaims it when the
+// frame's ack arrives (the receiver acks only after dispatch, and duplicate
+// or delayed copies are dropped by sequence number without reading the
+// payload). Steady state is therefore allocation-free.
+const (
+	batchHeaderLen   = 4
+	batchEntryHdrLen = 4
+
+	// DefaultBatchBytes is the default flush-on-size threshold.
+	DefaultBatchBytes = 8 << 10
+
+	// batchTick bounds the latency of progress-goroutine-origin appends
+	// (and of trickle traffic generally) when the reliable-layer ticker is
+	// not running.
+	batchTick = 500 * time.Microsecond
+
+	// slabPoolCap bounds the per-rank free list of recycled frame buffers.
+	slabPoolCap = 16
+)
+
+// FlushReason labels why a batch buffer was flushed (comm.flushes metrics).
+type FlushReason uint8
+
+const (
+	FlushSize FlushReason = iota
+	FlushIdle
+	FlushShutdown
+)
+
+// batchBuf is one destination's send buffer. count is atomic only so
+// FlushBatches can skip empty buffers without taking the lock; all writes
+// happen under mu.
+type batchBuf struct {
+	mu         sync.Mutex
+	buf        []byte
+	entryStart int
+	count      atomic.Int32
+}
+
+// RegisterBatched installs h for tag and marks the tag batched: messages
+// appended via BatchBegin/BatchEnd coalesce per destination into framed
+// messages, and the receive side unpacks each frame and invokes h once per
+// entry, in send order. Entry slices passed to h alias the frame buffer and
+// must not be retained after h returns. At most one tag may be batched.
+// Must be called before Start.
+func (p *Proc) RegisterBatched(tag int, h Handler) {
+	p.Register(tag, h)
+	if p.batchTag >= 0 && p.batchTag != tag {
+		panic("comm: only one batched tag is supported")
+	}
+	p.batchTag = tag
+	if p.batch == nil {
+		p.batch = make([]batchBuf, len(p.world.procs))
+	}
+}
+
+// SetBatchLimit adjusts every rank's flush-on-size threshold (bytes). Must
+// be called before any Proc is started.
+func (w *World) SetBatchLimit(n int) {
+	if w.started.Load() {
+		panic("comm: SetBatchLimit after Start")
+	}
+	if n < batchHeaderLen+batchEntryHdrLen {
+		panic("comm: batch limit too small")
+	}
+	for _, p := range w.procs {
+		p.batchLimit = n
+	}
+}
+
+// BatchBegin opens one entry in dst's batch buffer and returns the buffer
+// positioned after the entry's length placeholder. The caller appends the
+// entry's bytes and hands the result to BatchEnd (or BatchCancel on an
+// encoding failure); dst's buffer stays locked in between, which also
+// serializes any per-destination codec stream state against the wire order.
+func (p *Proc) BatchBegin(dst int) []byte {
+	b := &p.batch[dst]
+	b.mu.Lock()
+	if b.buf == nil {
+		b.buf = p.slabGet()
+	}
+	b.buf = append(b.buf, 0, 0, 0, 0) // entry length, filled by BatchEnd
+	b.entryStart = len(b.buf)
+	return b.buf
+}
+
+// BatchEnd seals the entry opened by BatchBegin, accounts one sent message
+// in the termination protocol, and flushes the buffer if it crossed the
+// size threshold.
+func (p *Proc) BatchEnd(dst int, buf []byte) {
+	b := &p.batch[dst]
+	binary.LittleEndian.PutUint32(buf[b.entryStart-batchEntryHdrLen:], uint32(len(buf)-b.entryStart))
+	b.buf = buf
+	b.count.Add(1)
+	p.det.MsgSentTo(dst)
+	limit := p.batchLimit
+	if limit <= 0 {
+		limit = DefaultBatchBytes
+	}
+	if len(buf) >= limit {
+		p.flushLocked(dst, b, FlushSize)
+	}
+	b.mu.Unlock()
+}
+
+// BatchCancel abandons the entry opened by BatchBegin (encoding failed
+// mid-entry) and releases the buffer lock.
+func (p *Proc) BatchCancel(dst int) {
+	b := &p.batch[dst]
+	b.buf = b.buf[:b.entryStart-batchEntryHdrLen]
+	b.mu.Unlock()
+}
+
+// FlushBatches ships every non-empty batch buffer. Safe from any goroutine;
+// this is what the runtime's flush-on-idle hook, the progress tick, and
+// quiescence call.
+func (p *Proc) FlushBatches(reason FlushReason) {
+	if p.batch == nil {
+		return
+	}
+	for dst := range p.batch {
+		b := &p.batch[dst]
+		if b.count.Load() == 0 {
+			continue
+		}
+		b.mu.Lock()
+		p.flushLocked(dst, b, reason)
+		b.mu.Unlock()
+	}
+}
+
+// flushLocked seals and posts dst's frame; the caller holds b.mu.
+func (p *Proc) flushLocked(dst int, b *batchBuf, reason FlushReason) {
+	count := b.count.Load()
+	if count == 0 {
+		return
+	}
+	payload := b.buf
+	binary.LittleEndian.PutUint32(payload[:batchHeaderLen], uint32(count))
+	b.buf = nil
+	b.count.Store(0)
+	if mx := p.world.mx; mx != nil {
+		mx.sent.Inc(p.rank)
+		mx.bytesSent.Add(p.rank, uint64(len(payload)))
+		mx.batchSize.Observe(p.rank, uint64(count))
+		mx.flushCounter(reason).Inc(p.rank)
+	}
+	if p.world.trace.Load() {
+		p.recordSend(dst, p.batchTag, len(payload))
+	}
+	p.post(dst, message{src: p.rank, tag: p.batchTag, payload: payload, slab: true})
+}
+
+// dispatchBatch unpacks one coalesced frame on the progress goroutine and
+// feeds each entry to the batched handler in send order. Defensive
+// throughout: remote-supplied bytes must not be able to kill the progress
+// goroutine, so a malformed frame is surfaced through the error hook (which
+// core wires to a graph abort) instead of panicking. Receipts are counted
+// per entry — the sender counted each activation at append time, and the
+// replay-prune protocol counts activations, not frames.
+func (p *Proc) dispatchBatch(m message) {
+	h := p.handlers[m.tag]
+	pl := m.payload
+	if mx := p.world.mx; mx != nil {
+		mx.recvd.Inc(p.rank)
+		mx.bytesRecvd.Add(p.rank, uint64(len(pl)))
+	}
+	var start time.Time
+	traced := p.world.trace.Load()
+	if traced {
+		start = time.Now()
+	}
+	count, delivered := 0, 0
+	ok := len(pl) >= batchHeaderLen
+	if ok {
+		count = int(int32(binary.LittleEndian.Uint32(pl)))
+		ok = count > 0
+	}
+	off := batchHeaderLen
+	for i := 0; ok && i < count; i++ {
+		if len(pl)-off < batchEntryHdrLen {
+			ok = false
+			break
+		}
+		sz := int(int32(binary.LittleEndian.Uint32(pl[off:])))
+		off += batchEntryHdrLen
+		if sz < 0 || sz > len(pl)-off {
+			ok = false
+			break
+		}
+		entry := pl[off : off+sz : off+sz]
+		off += sz
+		if p.appDispatched != nil {
+			p.appDispatched[m.src]++
+		}
+		h(m.src, entry)
+		p.det.MsgRecvdFrom(m.src)
+		delivered++
+	}
+	if ok && off != len(pl) {
+		ok = false
+	}
+	if !ok {
+		// A well-formed sender cannot produce this, so the frame was forged
+		// or corrupted. Credit one receipt when nothing was delivered (a raw
+		// injected Send counted one send, keeping the wave balanced for the
+		// abort to complete), count the drop, and surface the error.
+		if delivered == 0 {
+			p.det.MsgRecvdFrom(m.src)
+			if p.appDispatched != nil {
+				p.appDispatched[m.src]++
+			}
+		}
+		p.dropped++
+		if p.onError != nil {
+			p.onError(fmt.Errorf("comm: rank %d: malformed batch frame from rank %d (%d bytes, %d/%d entries delivered)",
+				p.rank, m.src, len(pl), delivered, count))
+		}
+	}
+	if traced {
+		p.recordRecv(m.src, m.tag, len(pl), start, time.Since(start))
+	}
+	// Perfect wire: this was the frame's only delivery and the handler is
+	// done with it — recycle the slab into the sender's pool. (Reliable
+	// wire: the sender recycles on ack instead; duplicates may still be in
+	// flight here.)
+	if m.slab && !p.world.reliable {
+		p.world.procs[m.src].slabPut(pl)
+	}
+}
+
+// slabGet pops a recycled frame buffer (or allocates one) sized for the
+// flush threshold, pre-seeded with the frame count placeholder.
+func (p *Proc) slabGet() []byte {
+	p.slabMu.Lock()
+	if n := len(p.slabs); n > 0 {
+		s := p.slabs[n-1]
+		p.slabs = p.slabs[:n-1]
+		p.slabMu.Unlock()
+		return s[:batchHeaderLen]
+	}
+	p.slabMu.Unlock()
+	limit := p.batchLimit
+	if limit <= 0 {
+		limit = DefaultBatchBytes
+	}
+	return make([]byte, batchHeaderLen, limit+512)
+}
+
+// slabPut returns a frame buffer to this rank's pool.
+func (p *Proc) slabPut(b []byte) {
+	p.slabMu.Lock()
+	if len(p.slabs) < slabPoolCap {
+		p.slabs = append(p.slabs, b)
+	}
+	p.slabMu.Unlock()
+}

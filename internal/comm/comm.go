@@ -54,6 +54,7 @@ type message struct {
 	a, b    int64 // control fields for wave messages
 	ep      int64 // membership epoch / wave round stamp (epoch<<32 | round)
 	seq     int64 // link-layer sequence number; 0 = unsequenced (direct)
+	slab    bool  // payload is a pooled batch frame; recycle when provably done
 }
 
 // mailbox is an unbounded MPSC queue with a wakeup channel usable in select.
@@ -137,13 +138,15 @@ func NewWorld(n int) *World {
 	w := &World{procs: make([]*Proc, n), rto: 2 * time.Millisecond}
 	for i := range w.procs {
 		w.procs[i] = &Proc{
-			rank:     i,
-			world:    w,
-			mbox:     newMailbox(),
-			handlers: map[int]Handler{},
-			qNotify:  make(chan struct{}, 1),
-			quit:     make(chan struct{}),
-			stopped:  make(chan struct{}),
+			rank:       i,
+			world:      w,
+			mbox:       newMailbox(),
+			handlers:   map[int]Handler{},
+			qNotify:    make(chan struct{}, 1),
+			quit:       make(chan struct{}),
+			stopped:    make(chan struct{}),
+			batchTag:   -1,
+			batchLimit: DefaultBatchBytes,
 		}
 	}
 	return w
@@ -162,6 +165,14 @@ func (w *World) Proc(r int) *Proc { return w.procs[r] }
 // Idempotent, and safe even when some ranks were never started (their
 // progress goroutine does not exist, so there is nothing to join).
 func (w *World) Shutdown() {
+	// Drain any batch buffers still holding activations before the wire
+	// goes down (after clean termination they are empty; this is hygiene
+	// for aborted or harness-driven runs).
+	if !w.closed.Load() {
+		for _, p := range w.procs {
+			p.FlushBatches(FlushShutdown)
+		}
+	}
 	w.closed.Store(true)
 	w.timerMu.Lock()
 	for t := range w.timers {
@@ -208,6 +219,15 @@ type Proc struct {
 	// is indexed by source and private to the progress goroutine.
 	sendLinks []sendLink
 	recvLinks []recvLink
+
+	// Activation coalescing state (see batch.go). batch is indexed by
+	// destination; batchTag is the single batched application tag (-1 when
+	// none); slabs is this rank's pool of recycled frame buffers.
+	batch      []batchBuf
+	batchTag   int
+	batchLimit int
+	slabMu     sync.Mutex
+	slabs      [][]byte
 
 	// progress-goroutine-private bookkeeping
 	terminated   bool
@@ -403,8 +423,12 @@ func (p *Proc) progress() {
 	defer close(p.stopped)
 	var buf []message
 	var tickC <-chan time.Time
-	if p.world.reliable {
-		tick := time.NewTicker(p.world.rto / 2)
+	if p.world.reliable || p.batch != nil {
+		period := p.world.rto / 2
+		if !p.world.reliable {
+			period = batchTick
+		}
+		tick := time.NewTicker(period)
 		defer tick.Stop()
 		tickC = tick.C
 	}
@@ -418,11 +442,16 @@ func (p *Proc) progress() {
 				p.handleQuiescent()
 			}
 		case <-tickC:
-			p.retransmit()
-			p.checkStall()
+			if p.world.reliable {
+				p.retransmit()
+				p.checkStall()
+			}
 			if p.world.fd != nil {
 				p.fdTick(time.Now())
 			}
+			// Bound the latency of appends the idle hook cannot see (the
+			// progress goroutine's own forwards, trickle traffic).
+			p.FlushBatches(FlushIdle)
 		case <-p.mbox.note:
 			buf = p.mbox.drain(buf)
 			for _, m := range buf {
@@ -512,10 +541,17 @@ func (p *Proc) handleAck(src int, upto int64) {
 	l := &p.sendLinks[src]
 	released := false
 	l.mu.Lock()
-	for seq := range l.unacked {
+	for seq, ps := range l.unacked {
 		if seq <= upto {
 			delete(l.unacked, seq)
 			released = true
+			if ps.msg.slab {
+				// Acked ⇒ the receiver dispatched the frame (acks follow
+				// dispatch); any duplicate still in flight is dropped by
+				// sequence number without reading the payload, so the slab
+				// is safely reusable. Lock order l.mu → slabMu is acyclic.
+				p.slabPut(ps.msg.payload)
+			}
 		}
 	}
 	l.mu.Unlock()
@@ -590,6 +626,10 @@ func (p *Proc) dispatch(m message) bool {
 			p.onPrune(m.src, m.a)
 		}
 	default:
+		if m.tag == p.batchTag {
+			p.dispatchBatch(m)
+			return false
+		}
 		h := p.handlers[m.tag]
 		if h == nil {
 			// A remote-supplied tag must not be able to kill this rank's
@@ -659,6 +699,10 @@ func (p *Proc) localCounts() (s, r int64) {
 
 // handleQuiescent runs when the local detector announces quiescence.
 func (p *Proc) handleQuiescent() {
+	// Local quiescence means every worker passed through the idle hook, but
+	// the hook races the notification; flush again so no activation sits
+	// buffered while this rank contributes balanced-looking counters.
+	p.FlushBatches(FlushIdle)
 	if !p.det.Quiescent() {
 		return // stale notification; work arrived meanwhile
 	}

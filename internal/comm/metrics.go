@@ -21,6 +21,11 @@ type commMetrics struct {
 	acks       *metrics.Counter // link-layer acks posted
 	retrans    *metrics.Counter // link-layer retransmissions
 
+	batchSize     *metrics.Histogram // activations per flushed frame (log2)
+	flushSize     *metrics.Counter   // frames flushed on the size threshold
+	flushIdle     *metrics.Counter   // frames flushed on idle / progress tick / quiescence
+	flushShutdown *metrics.Counter   // frames flushed at World.Shutdown
+
 	faultDrop    *metrics.Counter // transmissions lost by the fault plan/filter
 	faultDup     *metrics.Counter // transmissions duplicated
 	faultDelay   *metrics.Counter // transmissions delayed
@@ -50,6 +55,10 @@ func (w *World) EnableMetrics() *metrics.Registry {
 		ctrl:         reg.Counter("comm.ctrl.sent"),
 		acks:         reg.Counter("comm.acks.sent"),
 		retrans:      reg.Counter("comm.retransmits"),
+		batchSize:    reg.Histogram("comm.batch_size"),
+		flushSize:    reg.Counter("comm.flushes.size"),
+		flushIdle:    reg.Counter("comm.flushes.idle"),
+		flushShutdown: reg.Counter("comm.flushes.shutdown"),
 		faultDrop:    reg.Counter("comm.fault.dropped"),
 		faultDup:     reg.Counter("comm.fault.duplicated"),
 		faultDelay:   reg.Counter("comm.fault.delayed"),
@@ -141,12 +150,47 @@ func (p *Proc) ChromeEvents() []metrics.ChromeEvent {
 	return out
 }
 
+// flushCounter maps a flush reason to its counter.
+func (m *commMetrics) flushCounter(r FlushReason) *metrics.Counter {
+	switch r {
+	case FlushSize:
+		return m.flushSize
+	case FlushShutdown:
+		return m.flushShutdown
+	default:
+		return m.flushIdle
+	}
+}
+
 // ChromeEvents returns the communication events of every rank merged (nil
-// when tracing is off).
+// when tracing is off), followed — when metrics are also enabled — by "C"
+// counter events summarizing the wire-path metrics (batch sizes, flush
+// reasons) so the trace viewer shows the coalescing behaviour inline.
 func (w *World) ChromeEvents() []metrics.ChromeEvent {
 	var out []metrics.ChromeEvent
 	for _, p := range w.procs {
 		out = append(out, p.ChromeEvents()...)
+	}
+	if mx := w.mx; mx != nil && len(out) > 0 {
+		now := time.Now()
+		hs := mx.batchSize.Snapshot()
+		avg := 0.0
+		if hs.Count > 0 {
+			avg = float64(hs.Sum) / float64(hs.Count)
+		}
+		flushes := metrics.CounterEvent("comm.flushes", 0, now, map[string]any{
+			"size":     mx.flushSize.Value(),
+			"idle":     mx.flushIdle.Value(),
+			"shutdown": mx.flushShutdown.Value(),
+		})
+		batches := metrics.CounterEvent("comm.batch_size", 0, now, map[string]any{
+			"frames":          hs.Count,
+			"activations":     hs.Sum,
+			"avg_activations": avg,
+		})
+		flushes.Tid = commTraceTid
+		batches.Tid = commTraceTid
+		out = append(out, flushes, batches)
 	}
 	return out
 }

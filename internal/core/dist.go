@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
@@ -12,57 +11,80 @@ import (
 // activationTag is the comm tag carrying remote task activations.
 const activationTag = 0
 
+// actHeaderLen is the fixed activation header:
+//
+//	[1B hasPayload][4B ttID][4B slot][8B key]
+const actHeaderLen = 17
+
 // RegisterPayload registers a concrete payload type for cross-rank
-// serialization (gob). Call once per type before MakeExecutable on all
-// ranks.
+// serialization (gob fallback). Call once per type before MakeExecutable on
+// all ranks. Types whose fields are all fixed-width scalars should prefer
+// RegisterFlatPayload, and hot custom types RegisterCodec — both skip gob
+// entirely on the wire.
 func RegisterPayload(v any) { gob.Register(v) }
 
-// remoteSend serializes a datum and ships the activation (tt, slot, key,
-// payload) to the owning rank. Wire format:
+// remoteSend appends one activation to the owning rank's coalesced batch
+// buffer (the frame ships when a flush rule fires; see comm/batch.go).
+// Entry format:
 //
-//	[1B hasPayload][4B ttID][4B slot][8B key][gob payload...]
+//	[1B hasPayload][4B ttID][4B slot][8B key][1B codecID][payload bytes...]
 func (g *Graph) remoteSend(w *rt.Worker, tt *TT, slot int, key uint64, c *rt.Copy, owned bool) {
 	dstRank := tt.mapFn(key)
-	var buf bytes.Buffer
-	var hdr [17]byte
+	buf := g.proc.BatchBegin(dstRank)
+	var hdr [actHeaderLen]byte
 	if c != nil {
 		hdr[0] = 1
 	}
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(tt.id))
 	binary.LittleEndian.PutUint32(hdr[5:], uint32(slot))
 	binary.LittleEndian.PutUint64(hdr[9:], key)
-	buf.Write(hdr[:])
+	buf = append(buf, hdr[:]...)
 	if c != nil {
-		enc := gob.NewEncoder(&buf)
-		if err := enc.Encode(&c.Val); err != nil {
+		var err error
+		// The batch buffer lock held between BatchBegin and BatchEnd is what
+		// keeps the per-destination gob stream's bytes in wire order.
+		buf, err = g.encodePayload(buf, c.Val, dstRank, w.HTSlot())
+		if err != nil {
+			g.proc.BatchCancel(dstRank)
 			panic(fmt.Sprintf("ttg: cannot serialize payload for %s (did you RegisterPayload?): %v", tt.name, err))
 		}
 		if owned {
 			c.Release(w)
 		}
 	}
-	g.proc.Send(dstRank, activationTag, buf.Bytes())
+	g.proc.BatchEnd(dstRank, buf)
 }
 
 // handleActivation runs on the communication progress goroutine (service
-// worker 1): decode and deliver locally.
+// worker 1), once per activation entry unpacked from a batch frame: decode
+// and deliver locally. Remote-supplied bytes must never be able to kill the
+// progress goroutine — every malformation aborts the graph instead.
 func (g *Graph) handleActivation(src int, payload []byte) {
 	if g.rtm.Aborting() {
 		return // abort drain: skip the decode; comm still counts the receipt
+	}
+	if len(payload) < actHeaderLen {
+		g.rtm.Abort(fmt.Errorf("ttg: malformed activation from rank %d: %d bytes", src, len(payload)))
+		return
 	}
 	hasPayload := payload[0] == 1
 	ttID := binary.LittleEndian.Uint32(payload[1:])
 	slot := int(binary.LittleEndian.Uint32(payload[5:]))
 	key := binary.LittleEndian.Uint64(payload[9:])
+	if int(ttID) >= len(g.tts) {
+		g.rtm.Abort(fmt.Errorf("ttg: activation from rank %d names unknown TT %d", src, ttID))
+		return
+	}
 	tt := g.tts[ttID]
+	if slot < 0 || slot >= tt.nIn {
+		g.rtm.Abort(fmt.Errorf("ttg: activation from rank %d names invalid slot %d of %s", src, slot, tt.name))
+		return
+	}
 	cw := g.rtm.ServiceWorker(1)
 	var c *rt.Copy
 	if hasPayload {
-		dec := gob.NewDecoder(bytes.NewReader(payload[17:]))
-		var v any
-		if err := dec.Decode(&v); err != nil {
-			// Remote-supplied bytes must not be able to kill the progress
-			// goroutine: a malformed payload aborts the graph instead.
+		v, err := g.decodePayload(src, payload[actHeaderLen:])
+		if err != nil {
 			g.rtm.Abort(fmt.Errorf("ttg: cannot deserialize payload for %s from rank %d: %v", tt.name, src, err))
 			return
 		}

@@ -50,6 +50,11 @@ type Graph struct {
 	// EnableFaultTolerance); see recover.go.
 	ft *ftState
 
+	// gobEnc/gobDec are the per-peer cached gob streams (codec.go), built by
+	// MakeExecutable on non-FT distributed graphs; nil otherwise.
+	gobEnc []*streamEnc
+	gobDec []*streamDec
+
 	// mx holds the graph-level sharded counters (nil when metrics are off);
 	// see EnableMetrics.
 	mx *graphMetrics
@@ -57,12 +62,15 @@ type Graph struct {
 
 // graphMetrics are the discovery-path counters: hash-table lookups split by
 // outcome, insertions of newly discovered pending tasks, and removals of
-// tasks that became eligible. Sharded by worker identity.
+// tasks that became eligible, plus the wire-codec split (payloads encoded by
+// a fast-path codec vs. falling back to gob). Sharded by worker identity.
 type graphMetrics struct {
 	htFindHit  *metrics.Counter
 	htFindMiss *metrics.Counter
 	htInsert   *metrics.Counter
 	htRemove   *metrics.Counter
+	codecFast  *metrics.Counter
+	codecGob   *metrics.Counter
 }
 
 // New creates a shared-memory graph with its own runtime.
@@ -164,12 +172,20 @@ func (g *Graph) MakeExecutable() {
 		handler := g.handleActivation
 		if g.ft != nil {
 			handler = g.handleActivationFT
+		} else {
+			// Per-peer cached gob streams need in-order point-to-point bytes,
+			// which the FT replay/re-route paths cannot promise — FT payloads
+			// stay self-contained instead.
+			g.initStreamGob()
 		}
-		g.proc.Register(activationTag, handler)
+		g.proc.RegisterBatched(activationTag, handler)
 		g.proc.SetOnAbort(func(src int, reason string) {
 			g.rtm.Abort(fmt.Errorf("ttg: aborted by rank %d: %s", src, reason))
 		})
 		g.proc.SetOnError(func(err error) { g.rtm.Abort(err) })
+		// Flush coalesced activations whenever a worker runs out of local
+		// work: outbound latency must not gate on the next progress tick.
+		g.rtm.SetIdleHook(func() { g.proc.FlushBatches(comm.FlushIdle) })
 		g.proc.Start(g.rtm.Det, func() { g.rtm.SignalDone() })
 		g.rtm.Start(true)
 	} else {
@@ -304,6 +320,8 @@ func (g *Graph) EnableMetrics() *metrics.Registry {
 			htFindMiss: reg.Counter("core.ht.find.miss"),
 			htInsert:   reg.Counter("core.ht.insert"),
 			htRemove:   reg.Counter("core.ht.remove"),
+			codecFast:  reg.Counter("core.codec_fastpath"),
+			codecGob:   reg.Counter("core.codec_gob"),
 		}
 		reg.Func("core.errors_suppressed", g.rtm.SuppressedErrors)
 		reg.Func("core.tasks_reexecuted", func() int64 {
@@ -337,6 +355,12 @@ func (g *Graph) ChromeEvents() []metrics.ChromeEvent {
 	evs := g.rtm.ChromeEvents(g.rank)
 	if g.proc != nil {
 		evs = append(evs, g.proc.ChromeEvents()...)
+	}
+	if g.mx != nil && len(evs) > 0 {
+		evs = append(evs, metrics.CounterEvent("core.codec", g.rank, time.Now(), map[string]any{
+			"fastpath": g.mx.codecFast.Value(),
+			"gob":      g.mx.codecGob.Value(),
+		}))
 	}
 	return evs
 }

@@ -1,15 +1,14 @@
 package core
 
 import (
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gottg/internal/comm"
 	"gottg/internal/rt"
 )
 
@@ -47,6 +46,12 @@ var ErrRankKilled = errors.New("ttg: rank killed (fail-stop)")
 // send index, destination); a receiver delivers each id at most once, so
 // re-delivered duplicates into surviving ranks are dropped while genuinely
 // lost activations are re-applied.
+//
+// Activation coalescing (comm/batch.go) changes none of this: log entries are
+// per-activation and appended in the exact order their bytes enter the
+// destination's batch buffer (both happen under mu), so log order == wire
+// order still holds and prune counts — which count dispatched activations,
+// not frames — stay aligned.
 type ftState struct {
 	g *Graph
 
@@ -77,6 +82,11 @@ type ftState struct {
 	// identity, for activation-id derivation. Worker-private by slot.
 	srcCtx []ftSendCtx
 
+	// encBuf[htSlot] is that worker identity's reusable encode scratch for
+	// remoteSendFT; the logged entry copies out of it (logging inherently
+	// retains one owned allocation per send).
+	encBuf [][]byte
+
 	reexec   atomic.Int64 // tasks created here for keys owned by a dead rank
 	remapped atomic.Int64 // log + seed entries redirected on membership change
 	pruned   atomic.Int64 // log entries dropped via tagPrune notices
@@ -97,7 +107,7 @@ type ftSeed struct {
 	tt        *TT
 	slot      int
 	key       uint64
-	payload   []byte // gob bytes, nil for control-flow seeds
+	payload   []byte // self-contained codec bytes, nil for control-flow seeds
 	hasVal    bool
 	delivered bool
 }
@@ -162,6 +172,7 @@ func (g *Graph) EnableFaultTolerance() {
 		base:    make([]int64, g.size),
 		journal: map[uint64]struct{}{},
 		srcCtx:  make([]ftSendCtx, g.cfg.Workers+3),
+		encBuf:  make([][]byte, g.cfg.Workers+3),
 	}
 	for i := range ft.route {
 		ft.route[i].Store(int32(i))
@@ -262,9 +273,11 @@ func (ft *ftState) firstTime(id uint64) bool {
 // send resolves the current owner route for a statically-owned destination
 // and either transmits the entry (logging it under the actual destination) or
 // delivers it locally when this rank has inherited the keys. Route
-// resolution, log append, and transmit happen under one critical section so
-// the per-link log order matches the wire order exactly — the prune protocol
-// counts messages, so the two must never diverge.
+// resolution, log append, and batch append happen under one critical section
+// so the per-link log order matches the wire order exactly — the prune
+// protocol counts activations, so the two must never diverge. (All FT sends
+// serialize through mu, so the destination's batch buffer fills in exactly
+// log order.)
 func (ft *ftState) send(w *rt.Worker, origDst int, e ftLogEntry) {
 	g := ft.g
 	ft.mu.Lock()
@@ -275,7 +288,9 @@ func (ft *ftState) send(w *rt.Worker, origDst int, e ftLogEntry) {
 		return
 	}
 	ft.logs[dst] = append(ft.logs[dst], e)
-	g.proc.Send(dst, activationTag, e.buf)
+	bb := g.proc.BatchBegin(dst)
+	bb = append(bb, e.buf...)
+	g.proc.BatchEnd(dst, bb)
 	ft.mu.Unlock()
 }
 
@@ -291,7 +306,7 @@ func (g *Graph) replayLocal(w *rt.Worker, e ftLogEntry) {
 	tt := g.tts[e.ttID]
 	var c *rt.Copy
 	if e.buf[0]&ftFlagPayload != 0 {
-		v, err := ftDecodePayload(e.buf[ftHeaderLen:])
+		v, err := decodeSelfContained(e.buf[ftHeaderLen:])
 		if err != nil {
 			g.rtm.Abort(fmt.Errorf("ttg: cannot deserialize replayed payload for %s: %v", tt.name, err))
 			return
@@ -350,6 +365,9 @@ func (ft *ftState) onRankDead(dead, epoch int) {
 		ft.remapped.Add(1)
 		g.replaySeed(cw, s)
 	}
+	// Replayed sends coalesce like any others; push them onto the wire now so
+	// recovery latency does not ride on the next flush tick.
+	g.proc.FlushBatches(comm.FlushIdle)
 }
 
 // replaySeed re-delivers one inherited seed locally.
@@ -359,7 +377,7 @@ func (g *Graph) replaySeed(w *rt.Worker, s ftSeed) {
 	}
 	var c *rt.Copy
 	if s.hasVal {
-		v, err := ftDecodePayload(s.payload)
+		v, err := decodeSelfContained(s.payload)
 		if err != nil {
 			g.rtm.Abort(fmt.Errorf("ttg: cannot deserialize replayed seed for %s: %v", s.tt.name, err))
 			return
@@ -391,12 +409,11 @@ func (ft *ftState) logSeed(w *rt.Worker, tt *TT, slot int, key uint64, c *rt.Cop
 	g := ft.g
 	s := ftSeed{tt: tt, slot: slot, key: key}
 	if c != nil {
-		var buf bytes.Buffer
-		enc := gob.NewEncoder(&buf)
-		if err := enc.Encode(&c.Val); err != nil {
+		payload, err := encodeSelfContained(nil, c.Val)
+		if err != nil {
 			panic(fmt.Sprintf("ttg: cannot serialize seed for %s (did you RegisterPayload?): %v", tt.name, err))
 		}
-		s.payload = buf.Bytes()
+		s.payload = payload
 		s.hasVal = true
 		c.Release(w)
 	}
@@ -414,24 +431,24 @@ func (ft *ftState) logSeed(w *rt.Worker, tt *TT, slot int, key uint64, c *rt.Cop
 
 // Wire format of fault-tolerant activations:
 //
-//	[1B flags][4B ttID][4B slot][8B key][8B id][gob payload...]
+//	[1B flags][4B ttID][4B slot][8B key][8B id][1B codecID][payload...]
+//
+// FT payloads are always self-contained (fast-path codec or standalone gob,
+// never the per-peer cached stream): logged bytes get replayed and re-routed
+// to arbitrary ranks, where a mid-stream gob delta would be undecodable.
 const (
 	ftFlagPayload = 1 << 0
 	ftHeaderLen   = 25
 )
 
-// ftDecodePayload gob-decodes one activation payload.
-func ftDecodePayload(b []byte) (any, error) {
-	dec := gob.NewDecoder(bytes.NewReader(b))
-	var v any
-	err := dec.Decode(&v)
-	return v, err
-}
-
 // remoteSendFT serializes an activation with its identity and hands it to
-// the route-aware logged transmitter.
+// the route-aware logged transmitter. Encoding goes through the worker's
+// reusable scratch; the single exact-size copy per send is the replay log's
+// retained entry.
 func (g *Graph) remoteSendFT(w *rt.Worker, tt *TT, slot int, key uint64, c *rt.Copy, owned bool, id uint64) {
-	var buf bytes.Buffer
+	ft := g.ft
+	sl := w.HTSlot()
+	buf := ft.encBuf[sl][:0]
 	var hdr [ftHeaderLen]byte
 	if c != nil {
 		hdr[0] = ftFlagPayload
@@ -440,42 +457,62 @@ func (g *Graph) remoteSendFT(w *rt.Worker, tt *TT, slot int, key uint64, c *rt.C
 	binary.LittleEndian.PutUint32(hdr[5:], uint32(slot))
 	binary.LittleEndian.PutUint64(hdr[9:], key)
 	binary.LittleEndian.PutUint64(hdr[17:], id)
-	buf.Write(hdr[:])
+	buf = append(buf, hdr[:]...)
 	if c != nil {
-		enc := gob.NewEncoder(&buf)
-		if err := enc.Encode(&c.Val); err != nil {
+		var err error
+		buf, err = g.encodePayload(buf, c.Val, -1, sl) // dst -1: self-contained
+		if err != nil {
 			panic(fmt.Sprintf("ttg: cannot serialize payload for %s (did you RegisterPayload?): %v", tt.name, err))
 		}
 		if owned {
 			c.Release(w)
 		}
 	}
+	ft.encBuf[sl] = buf // keep the grown scratch
+	wire := append(make([]byte, 0, len(buf)), buf...)
 	g.ft.send(w, tt.mapFn(key), ftLogEntry{
-		id: id, ttID: uint32(tt.id), slot: uint32(slot), key: key, buf: buf.Bytes(),
+		id: id, ttID: uint32(tt.id), slot: uint32(slot), key: key, buf: wire,
 	})
 }
 
-// handleActivationFT is the fault-tolerant inbound path (progress goroutine):
-// journal dedup, re-route if the key's owner moved while the message was in
-// flight, then local delivery.
+// handleActivationFT is the fault-tolerant inbound path (progress goroutine),
+// called once per activation entry unpacked from a batch frame: journal
+// dedup, re-route if the key's owner moved while the message was in flight,
+// then local delivery. Malformed remote bytes abort the graph — they must
+// never panic the progress goroutine.
 func (g *Graph) handleActivationFT(src int, payload []byte) {
 	ft := g.ft
+	if len(payload) < ftHeaderLen {
+		g.rtm.Abort(fmt.Errorf("ttg: malformed activation from rank %d: %d bytes", src, len(payload)))
+		return
+	}
 	ttID := binary.LittleEndian.Uint32(payload[1:])
 	slot := binary.LittleEndian.Uint32(payload[5:])
 	key := binary.LittleEndian.Uint64(payload[9:])
 	id := binary.LittleEndian.Uint64(payload[17:])
+	if int(ttID) >= len(g.tts) {
+		g.rtm.Abort(fmt.Errorf("ttg: activation from rank %d names unknown TT %d", src, ttID))
+		return
+	}
+	tt := g.tts[ttID]
+	if int(slot) >= tt.nIn {
+		g.rtm.Abort(fmt.Errorf("ttg: activation from rank %d names invalid slot %d of %s", src, slot, tt.name))
+		return
+	}
 	if ft.seen(id) {
 		return // duplicate of an activation already applied here
 	}
-	tt := g.tts[ttID]
 	cw := g.rtm.ServiceWorker(1)
 	owner := tt.mapFn(key)
 	if int(ft.route[owner].Load()) != g.rank {
-		// The owner moved again while this was in flight: forward the raw
-		// bytes. Deliberately NOT journaled here — this rank did not apply
-		// the activation, and poisoning the journal would drop it forever if
-		// the keys later route back (chained deaths).
-		ft.send(cw, owner, ftLogEntry{id: id, ttID: ttID, slot: slot, key: key, buf: payload})
+		// The owner moved again while this was in flight: forward the bytes.
+		// payload aliases the inbound frame slab (recycled after dispatch),
+		// and the forwarded entry is retained in the replay log — copy.
+		// Deliberately NOT journaled here — this rank did not apply the
+		// activation, and poisoning the journal would drop it forever if the
+		// keys later route back (chained deaths).
+		fwd := append(make([]byte, 0, len(payload)), payload...)
+		ft.send(cw, owner, ftLogEntry{id: id, ttID: ttID, slot: slot, key: key, buf: fwd})
 		return
 	}
 	if !ft.firstTime(id) {
@@ -486,7 +523,7 @@ func (g *Graph) handleActivationFT(src int, payload []byte) {
 	}
 	var c *rt.Copy
 	if payload[0]&ftFlagPayload != 0 {
-		v, err := ftDecodePayload(payload[ftHeaderLen:])
+		v, err := decodeSelfContained(payload[ftHeaderLen:])
 		if err != nil {
 			g.rtm.Abort(fmt.Errorf("ttg: cannot deserialize payload for %s from rank %d: %v", tt.name, src, err))
 			return

@@ -15,12 +15,19 @@ import (
 type ChromeEvent struct {
 	Name  string         // event name (task name, message tag)
 	Cat   string         // comma-separated categories ("task", "comm", ...)
-	Phase string         // "X" complete, "i" instant
+	Phase string         // "X" complete, "i" instant, "C" counter
 	Start time.Time      // absolute wall-clock start
 	Dur   time.Duration  // duration (complete events only)
 	Pid   int            // process lane (rank in distributed runs)
 	Tid   int            // thread lane (worker ID, or a per-rank lane)
 	Args  map[string]any // free-form args shown in the viewer
+}
+
+// CounterEvent builds a "C" (counter) event: the viewer renders Args as a
+// stacked counter track named `name` on pid's lane. Exporters use it to
+// surface metric totals (e.g. comm batch sizes) inline with the timeline.
+func CounterEvent(name string, pid int, ts time.Time, values map[string]any) ChromeEvent {
+	return ChromeEvent{Name: name, Cat: "metrics", Phase: "C", Start: ts, Pid: pid, Args: values}
 }
 
 // chromeJSON is the wire form (ts/dur in microseconds).

@@ -117,6 +117,20 @@ func (h *Histogram) Observe(shard int, v uint64) {
 	s.sum.Add(v)
 }
 
+// Snapshot merges this histogram's shards. Safe at any time.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var hs HistSnapshot
+	for i := range h.shards {
+		sh := &h.shards[i]
+		hs.Count += sh.count.Load()
+		hs.Sum += sh.sum.Load()
+		for b := range sh.buckets {
+			hs.Buckets[b] += sh.buckets[b].Load()
+		}
+	}
+	return hs
+}
+
 // HistSnapshot is a merged view of a Histogram.
 type HistSnapshot struct {
 	Count   uint64             `json:"count"`
@@ -329,16 +343,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = f()
 	}
 	for name, h := range r.hists {
-		var hs HistSnapshot
-		for i := range h.shards {
-			sh := &h.shards[i]
-			hs.Count += sh.count.Load()
-			hs.Sum += sh.sum.Load()
-			for b := range sh.buckets {
-				hs.Buckets[b] += sh.buckets[b].Load()
-			}
-		}
-		s.Histograms[name] = hs
+		s.Histograms[name] = h.Snapshot()
 	}
 	return s
 }

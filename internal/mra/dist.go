@@ -1,9 +1,49 @@
 package mra
 
 import (
+	"encoding/binary"
+	"errors"
+	"math"
+
 	"gottg/internal/core"
 	"gottg/internal/linalg"
 )
+
+// cubeCodec is the wire codec for *cubeMsg: [8B child][8B k][8B·k³ data],
+// little-endian. Cube payloads dominate MRA's cross-rank traffic, and the
+// fixed layout encodes straight into the pooled batch buffer — no gob, no
+// reflection, no per-send allocation.
+type cubeCodec struct{}
+
+func (cubeCodec) Encode(buf []byte, v any) []byte {
+	m := v.(*cubeMsg)
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(m.Child))
+	binary.LittleEndian.PutUint64(b[8:], uint64(m.S.K))
+	buf = append(buf, b[:]...)
+	for _, f := range m.S.Data {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], math.Float64bits(f))
+		buf = append(buf, w[:]...)
+	}
+	return buf
+}
+
+func (cubeCodec) Decode(b []byte) (any, error) {
+	if len(b) < 16 {
+		return nil, errors.New("mra: cube payload too short")
+	}
+	child := int(int64(binary.LittleEndian.Uint64(b[0:])))
+	k := int(int64(binary.LittleEndian.Uint64(b[8:])))
+	if k < 0 || k > 1<<10 || len(b) != 16+8*k*k*k {
+		return nil, errors.New("mra: cube payload size does not match k")
+	}
+	data := make([]float64, k*k*k)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[16+8*i:]))
+	}
+	return &cubeMsg{Child: child, S: linalg.Cube{K: k, Data: data}}, nil
+}
 
 // Distribute partitions the MRA computation across `ranks` simulated
 // processes: the octree root of each function lives on rank f mod ranks,
@@ -22,6 +62,7 @@ import (
 func (m *Graph) Distribute(ranks int) {
 	core.RegisterPayload(&cubeMsg{})
 	core.RegisterPayload(linalg.Cube{})
+	core.RegisterCodec(&cubeMsg{}, cubeCodec{}) // idempotent: re-register keeps the wire id
 	mapper := func(key uint64) int { return octantRank(key, ranks) }
 	m.project.WithMapper(mapper)
 	m.compress.WithMapper(mapper)

@@ -41,6 +41,12 @@ type Runtime struct {
 	// Up to maxAbortErrors concurrent abort reasons are retained and joined;
 	// the overflow is counted in suppressed so multi-failure runs are not
 	// silently truncated.
+	// idleHook, when set, runs on a worker immediately before it enters the
+	// idle state (flushing thread-local termination counters). Distributed
+	// frontends install the comm batch-buffer flush here so no activation
+	// sits coalesced while the rank looks quiescent. Install before Start.
+	idleHook func()
+
 	aborting   atomic.Bool
 	errMu      sync.Mutex
 	errs       []error
@@ -198,6 +204,12 @@ func (r *Runtime) Stats() (exec, steals, parks int64) {
 	}
 	return
 }
+
+// SetIdleHook installs a routine run by each worker just before it goes
+// idle, ahead of the termination-counter flush. Must be installed before
+// Start; the hook must be safe for concurrent callers (every worker runs
+// it).
+func (r *Runtime) SetIdleHook(f func()) { r.idleHook = f }
 
 // SetDropFn installs the frontend's task-discard routine, used to dispose
 // of tasks without running their bodies (abort drain, panic cleanup). The

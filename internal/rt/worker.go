@@ -268,8 +268,14 @@ func (w *Worker) run() {
 		if rt.done.Load() {
 			return
 		}
-		// Local miss: go idle (flushes thread-local termination counters,
-		// possibly announcing quiescence) and poll until work or shutdown.
+		// Local miss: run the idle hook (distributed mode flushes this
+		// rank's coalesced send buffers — anything this worker appended must
+		// reach the wire before the rank can look quiescent), then go idle
+		// (flushes thread-local termination counters, possibly announcing
+		// quiescence) and poll until work or shutdown.
+		if f := rt.idleHook; f != nil {
+			f()
+		}
 		rt.Det.EnterIdle(w.ID)
 		spins := 0
 		for {

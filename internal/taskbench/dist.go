@@ -6,11 +6,25 @@ import (
 
 	"gottg/internal/comm"
 	"gottg/internal/core"
+	"gottg/internal/metrics"
 	"gottg/internal/rt"
 )
 
 func init() {
-	core.RegisterPayload(&pointVal{})
+	// pointVal is flat (two fixed-width scalars), so it rides the binary
+	// fast-path codec instead of gob on the wire.
+	core.RegisterFlatPayload(&pointVal{})
+}
+
+// DistStats is the communication-layer summary of one distributed run,
+// extracted from the merged metrics snapshot of all ranks.
+type DistStats struct {
+	Messages    uint64  // wire frames actually sent (comm.msgs.sent)
+	Activations uint64  // task activations carried inside them
+	BytesSent   uint64  // payload bytes on the wire
+	ActsPerMsg  float64 // coalescing factor
+	MsgsPerSec  float64 // wire frames per wall-clock second
+	ActsPerSec  float64 // activations per wall-clock second
 }
 
 // RunDistributedTTG executes the Task-Bench spec over `ranks` simulated
@@ -23,10 +37,25 @@ func init() {
 // Returns the global checksum (bit-identical to Spec.Reference) and the
 // wall-clock time.
 func RunDistributedTTG(s Spec, ranks, workersPerRank int) Result {
+	res, _ := runDistributedTTG(s, ranks, workersPerRank, false)
+	return res
+}
+
+// RunDistributedTTGStats is RunDistributedTTG with comm metrics enabled,
+// additionally reporting the wire-level message statistics (frames,
+// activations carried, coalescing factor, messages/sec).
+func RunDistributedTTGStats(s Spec, ranks, workersPerRank int) (Result, DistStats) {
+	return runDistributedTTG(s, ranks, workersPerRank, true)
+}
+
+func runDistributedTTG(s Spec, ranks, workersPerRank int, withStats bool) (Result, DistStats) {
 	if ranks > s.Width {
 		ranks = s.Width
 	}
 	world := comm.NewWorld(ranks)
+	if withStats {
+		world.EnableMetrics()
+	}
 	mapper := func(key uint64) int {
 		_, p := core.Unpack2(key)
 		return int(p) * ranks / s.Width
@@ -64,10 +93,35 @@ func RunDistributedTTG(s Spec, ranks, workersPerRank int) Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(t0)
+	var stats DistStats
+	if withStats {
+		stats = extractDistStats(world.MetricsSnapshot(), elapsed)
+	}
 	world.Shutdown()
 	checksum := 0.0
 	for p := 0; p < s.Width; p++ {
 		checksum += lastVals[p]
 	}
-	return Result{Elapsed: elapsed, Checksum: checksum, Tasks: s.TotalTasks()}
+	return Result{Elapsed: elapsed, Checksum: checksum, Tasks: s.TotalTasks()}, stats
+}
+
+// extractDistStats reads the wire-level counters out of a comm metrics
+// snapshot: comm.msgs.sent counts frames, and the comm.batch_size histogram's
+// sum counts the activations coalesced into them.
+func extractDistStats(snap metrics.Snapshot, elapsed time.Duration) DistStats {
+	st := DistStats{
+		Messages:  snap.Counters["comm.msgs.sent"],
+		BytesSent: snap.Counters["comm.bytes.sent"],
+	}
+	if h, ok := snap.Histograms["comm.batch_size"]; ok {
+		st.Activations = h.Sum
+	}
+	if st.Messages > 0 {
+		st.ActsPerMsg = float64(st.Activations) / float64(st.Messages)
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		st.MsgsPerSec = float64(st.Messages) / sec
+		st.ActsPerSec = float64(st.Activations) / sec
+	}
+	return st
 }

@@ -84,6 +84,21 @@ func OriginalConfig(workers int) Config { return rt.OriginalConfig(workers) }
 // RegisterPayload registers a payload type for distributed serialization.
 func RegisterPayload(v any) { core.RegisterPayload(v) }
 
+// Codec converts one payload type to and from wire bytes; see core.Codec for
+// the contract (append-style encode, copy-on-decode, error — never panic —
+// on malformed input).
+type Codec = core.Codec
+
+// RegisterCodec installs a fast-path codec for sample's concrete type,
+// bypassing gob on the wire. Must be called in the same order on every rank,
+// before MakeExecutable.
+func RegisterCodec(sample any, c Codec) { core.RegisterCodec(sample, c) }
+
+// RegisterFlatPayload registers a payload type whose exported fields are all
+// fixed-width scalars with an automatic allocation-free binary codec; it
+// subsumes RegisterPayload for such types. Panics if the type is not flat.
+func RegisterFlatPayload(sample any) { core.RegisterFlatPayload(sample) }
+
 // Key packing helpers (TTG keys are uint64; these pack small tuples).
 var (
 	Pack2    = core.Pack2
