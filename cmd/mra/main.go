@@ -16,7 +16,9 @@ import (
 	"os"
 
 	"gottg/internal/core"
+	"gottg/internal/metrics"
 	"gottg/internal/mra"
+	"gottg/internal/obs/critpath"
 	"gottg/internal/rt"
 )
 
@@ -30,6 +32,7 @@ var (
 	flagOriginal = flag.Bool("original", false, "use the original (pre-optimization) runtime configuration")
 	flagVerify   = flag.Bool("verify", true, "verify reconstruct(compress(project)) == project on every leaf")
 	flagTrace    = flag.String("trace", "", "write a Chrome trace-viewer JSON of the execution to this file")
+	flagCritpath = flag.Bool("critpath", false, "enable causal tracing and print a critical-path report (docs/OBSERVABILITY.md)")
 )
 
 func main() {
@@ -49,7 +52,41 @@ func main() {
 	}
 	var fo *mra.Forest
 	var res mra.Result
-	if *flagTrace != "" {
+	switch {
+	case *flagCritpath:
+		// Causal tracing: spans carry producer links, so the sink can run the
+		// critical-path analysis (and, with -trace, add flow arrows linking
+		// producer and consumer slices in the viewer).
+		fo, res = mra.RunCausal(p, cfg, func(g *core.Graph) {
+			spans := critpath.FromTrace(0, g.Runtime().Trace())
+			rep, err := critpath.Analyze(spans)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "critpath:", err)
+				return
+			}
+			pct := func(ns int64) float64 { return float64(ns) / float64(rep.LenNs) * 100 }
+			fmt.Printf("critpath: %d spans, path of %d tasks\n", rep.Spans, rep.Tasks)
+			fmt.Printf("  len %.3fms = body %.3fms (%.1f%%) + queue-wait %.3fms (%.1f%%) + comm %.3fms (%.1f%%)\n",
+				float64(rep.LenNs)/1e6,
+				float64(rep.BodyNs)/1e6, pct(rep.BodyNs),
+				float64(rep.QueueNs)/1e6, pct(rep.QueueNs),
+				float64(rep.CommNs)/1e6, pct(rep.CommNs))
+			fmt.Printf("  per-task overhead along path: %.0f ns\n", rep.PerTaskOverheadNs)
+			if *flagTrace != "" {
+				evs := append(g.ChromeEvents(), critpath.FlowEvents(spans)...)
+				f, err := os.Create(*flagTrace)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "trace:", err)
+					return
+				}
+				defer f.Close()
+				if err := metrics.WriteChromeTrace(f, evs); err != nil {
+					fmt.Fprintln(os.Stderr, "trace:", err)
+				}
+				fmt.Printf("trace written to %s\n", *flagTrace)
+			}
+		})
+	case *flagTrace != "":
 		fo, res = mra.RunTraced(p, cfg, func(g *core.Graph) {
 			f, err := os.Create(*flagTrace)
 			if err != nil {
@@ -62,7 +99,7 @@ func main() {
 			}
 		})
 		fmt.Printf("trace written to %s\n", *flagTrace)
-	} else {
+	default:
 		fo, res = mra.Run(p, cfg)
 	}
 	fmt.Printf("mra: %d functions, k=%d, tol=%g, expnt=%g\n", *flagFuncs, p.K, p.Tol, *flagExpnt)

@@ -31,6 +31,9 @@ var (
 	flagRanks   = flag.Int("ranks", 0, "run the TTG implementation across N simulated ranks instead")
 	flagJSON    = flag.Bool("json", false, "emit BENCH records as JSON lines instead of text (TTG runners include a metric snapshot)")
 
+	flagCritpath = flag.Bool("critpath", false, "with -ranks: run with causal tracing and print/embed a critical-path report")
+	flagTrace    = flag.String("trace", "", "with -critpath: write the merged Chrome trace (with flow events) to this file")
+
 	flagKillRank  = flag.Int("kill-rank", -1, "fail-stop this rank mid-run (requires -ranks; enables fault tolerance)")
 	flagKillAfter = flag.Int64("kill-after", 8, "kill the victim after it has executed this many tasks")
 	flagPrune     = flag.Bool("prune", true, "prune replay logs as downstream ranks quiesce (with -kill-rank)")
@@ -106,6 +109,10 @@ func main() {
 			res.Tasks, res.Elapsed, res.PerTask(), status)
 		fmt.Printf("  deaths=%d wave_restarts=%d reexecuted=%d remapped=%d pruned=%d keymap=%v\n",
 			rep.Deaths, rep.WaveRestarts, rep.Reexecuted, rep.Remapped, rep.Pruned, rep.Keymap)
+		return
+	}
+	if *flagRanks > 0 && *flagCritpath {
+		runCritpath(spec, *flagRanks, *flagThreads, want)
 		return
 	}
 	if *flagRanks > 0 {

@@ -7,6 +7,7 @@
 //
 //	ttg-bench [flags] fig1|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|model|all
 //	ttg-bench [-json] bench            # LLP vs LFQ smoke matrix, BENCH records
+//	ttg-bench [-json] [-trace f] critpath  # causal critical-path profile (docs/OBSERVABILITY.md)
 //	ttg-bench chaos                    # fail-stop recovery demo (docs/ROBUSTNESS.md)
 //	ttg-bench validate [files...]      # validate BENCH record streams
 //
@@ -35,6 +36,7 @@ var (
 	flagArch    = flag.String("arch", "amd", "contention-model architecture: amd|power9")
 	flagCSV     = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	flagJSON    = flag.Bool("json", false, "emit BENCH records as JSON lines (bench subcommand)")
+	flagTrace   = flag.String("trace", "", "critpath: write the merged Chrome trace (with flow events) to this file")
 )
 
 // ctx bundles the harness configuration shared by all figures.
@@ -81,7 +83,7 @@ func (c *ctx) measurableThreads(list []int) []int {
 func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: ttg-bench [flags] fig1|fig2|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|model|chaos|all|bench|validate [files...]")
+		fmt.Fprintln(os.Stderr, "usage: ttg-bench [flags] fig1|fig2|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|model|chaos|all|bench|critpath|validate [files...]")
 		os.Exit(2)
 	}
 	spin.SetClockGHz(*flagGHz)
@@ -107,6 +109,8 @@ func main() {
 		switch cmd {
 		case "bench":
 			figBench(c)
+		case "critpath":
+			cmdCritpath(c)
 		case "validate":
 			// Remaining arguments are record files, not figure names.
 			cmdValidate(args[i+1:])

@@ -50,7 +50,49 @@ type Record struct {
 	PerTaskNs   float64            `json:"per_task_ns"`      // elapsed / Tasks
 	Config      map[string]any     `json:"config,omitempty"` // harness-specific parameters
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Critpath    *CritPath          `json:"critpath,omitempty"` // causal critical-path analysis
 	Env         EnvInfo            `json:"env"`
+}
+
+// CritPath embeds a critical-path analysis (obs/critpath) in a record: the
+// weighted critical path through the causal span DAG, its length attributed
+// into task-body, scheduler queue-wait, and comm latency, and the derived
+// per-task overhead. The attribution is exact (body+queue+comm == len_ns);
+// Validate enforces it.
+type CritPath struct {
+	Spans             int     `json:"spans"`       // causal spans analyzed
+	Tasks             int     `json:"tasks"`       // tasks on the critical path
+	LenNs             int64   `json:"len_ns"`      // critical-path length
+	BodyNs            int64   `json:"body_ns"`     // task-body time on the path
+	QueueNs           int64   `json:"queue_ns"`    // scheduler/dependence wait on the path
+	CommNs            int64   `json:"comm_ns"`     // communication latency on the path
+	RemoteHops        int     `json:"remote_hops"` // path edges that crossed ranks
+	PerTaskOverheadNs float64 `json:"per_task_overhead_ns"`
+	// PerTaskOverheadCycles is PerTaskOverheadNs scaled by the clock the
+	// harness was told about (0 when no -ghz was given).
+	PerTaskOverheadCycles float64 `json:"per_task_overhead_cycles,omitempty"`
+}
+
+// validate checks the critpath block's internal consistency.
+func (c *CritPath) validate() error {
+	if c.Spans < 1 || c.Tasks < 1 {
+		return fmt.Errorf("critpath: spans %d / tasks %d, want >= 1", c.Spans, c.Tasks)
+	}
+	if c.Tasks > c.Spans {
+		return fmt.Errorf("critpath: %d path tasks exceed %d spans", c.Tasks, c.Spans)
+	}
+	if c.LenNs <= 0 || c.BodyNs < 0 || c.QueueNs < 0 || c.CommNs < 0 {
+		return fmt.Errorf("critpath: negative or empty attribution (len %d, body %d, queue %d, comm %d)",
+			c.LenNs, c.BodyNs, c.QueueNs, c.CommNs)
+	}
+	if c.BodyNs+c.QueueNs+c.CommNs != c.LenNs {
+		return fmt.Errorf("critpath: body %d + queue %d + comm %d != len %d",
+			c.BodyNs, c.QueueNs, c.CommNs, c.LenNs)
+	}
+	if !finite(c.PerTaskOverheadNs) || !finite(c.PerTaskOverheadCycles) {
+		return fmt.Errorf("critpath: non-finite overhead fields")
+	}
+	return nil
 }
 
 // NewRecord builds a record with the derived fields and environment filled
@@ -109,6 +151,11 @@ func (r Record) Validate() error {
 	for k, v := range r.Metrics {
 		if !finite(v) {
 			return fmt.Errorf("bench: %s/%s: metric %q is non-finite", r.Bench, r.Name, k)
+		}
+	}
+	if r.Critpath != nil {
+		if err := r.Critpath.validate(); err != nil {
+			return fmt.Errorf("bench: %s/%s: %v", r.Bench, r.Name, err)
 		}
 	}
 	return nil

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func validCritpath() *CritPath {
+	return &CritPath{
+		Spans: 800, Tasks: 50,
+		LenNs: 1000, BodyNs: 600, QueueNs: 300, CommNs: 100,
+		RemoteHops: 4, PerTaskOverheadNs: 8, PerTaskOverheadCycles: 21.6,
+	}
+}
+
+// TestRecordCritpathRoundTrip writes a record carrying a critpath block and
+// reads it back through the validating stream reader.
+func TestRecordCritpathRoundTrip(t *testing.T) {
+	rec := NewRecord("ttg-bench", "TTG critpath", 2, 800, 5*time.Millisecond)
+	rec.Ranks = 4
+	rec.Critpath = validCritpath()
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Critpath == nil {
+		t.Fatalf("round trip lost the critpath block: %+v", got)
+	}
+	if *got[0].Critpath != *rec.Critpath {
+		t.Fatalf("critpath %+v != %+v", *got[0].Critpath, *rec.Critpath)
+	}
+}
+
+// TestRecordCritpathValidation checks the consistency rules: the attribution
+// must telescope and the structural bounds must hold.
+func TestRecordCritpathValidation(t *testing.T) {
+	base := NewRecord("ttg-bench", "TTG critpath", 2, 800, 5*time.Millisecond)
+	for _, tc := range []struct {
+		name   string
+		mutate func(c *CritPath)
+		errSub string
+	}{
+		{"attribution gap", func(c *CritPath) { c.QueueNs = 299 }, "!= len"},
+		{"negative comm", func(c *CritPath) { c.CommNs = -1; c.QueueNs = 401 }, "negative"},
+		{"zero length", func(c *CritPath) { c.LenNs = 0; c.BodyNs = 0; c.QueueNs = 0; c.CommNs = 0 }, "empty"},
+		{"tasks exceed spans", func(c *CritPath) { c.Tasks = 801 }, "exceed"},
+		{"no tasks", func(c *CritPath) { c.Tasks = 0 }, "want >= 1"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := base
+			rec.Critpath = validCritpath()
+			tc.mutate(rec.Critpath)
+			err := rec.Validate()
+			if err == nil {
+				t.Fatalf("invalid critpath %+v accepted", *rec.Critpath)
+			}
+			if !strings.Contains(err.Error(), tc.errSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.errSub)
+			}
+		})
+	}
+	rec := base
+	rec.Critpath = validCritpath()
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("valid critpath rejected: %v", err)
+	}
+	rec.Critpath = nil
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("record without critpath rejected: %v", err)
+	}
+}

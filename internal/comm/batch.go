@@ -15,7 +15,12 @@ import (
 //
 // Frame layout:
 //
-//	[4B count] ( [4B len][entry bytes] ) x count     (little-endian)
+//	[4B count][8B frame id] ( [4B len][entry bytes] ) x count   (little-endian)
+//
+// The frame id ((sender rank + 1) << 40 | per-sender sequence, never zero)
+// identifies the frame across the whole world; the receive side exposes it
+// to batched handlers via DispatchFrameID so causal tracing can tie a
+// remote activation to the wire message that carried it.
 //
 // Flush rules: a buffer flushes when it reaches the size threshold
 // (SetBatchLimit, default DefaultBatchBytes), when a worker runs out of
@@ -33,7 +38,7 @@ import (
 // or delayed copies are dropped by sequence number without reading the
 // payload). Steady state is therefore allocation-free.
 const (
-	batchHeaderLen   = 4
+	batchHeaderLen   = 12 // [4B count][8B frame id]
 	batchEntryHdrLen = 4
 
 	// DefaultBatchBytes is the default flush-on-size threshold.
@@ -166,7 +171,9 @@ func (p *Proc) flushLocked(dst int, b *batchBuf, reason FlushReason) {
 		return
 	}
 	payload := b.buf
-	binary.LittleEndian.PutUint32(payload[:batchHeaderLen], uint32(count))
+	binary.LittleEndian.PutUint32(payload[:4], uint32(count))
+	fid := uint64(p.rank+1)<<40 | p.frameSeq.Add(1)
+	binary.LittleEndian.PutUint64(payload[4:batchHeaderLen], fid)
 	b.buf = nil
 	b.count.Store(0)
 	if mx := p.world.mx; mx != nil {
@@ -176,7 +183,7 @@ func (p *Proc) flushLocked(dst int, b *batchBuf, reason FlushReason) {
 		mx.flushCounter(reason).Inc(p.rank)
 	}
 	if p.world.trace.Load() {
-		p.recordSend(dst, p.batchTag, len(payload))
+		p.recordSend(dst, p.batchTag, len(payload), fid)
 	}
 	p.post(dst, message{src: p.rank, tag: p.batchTag, payload: payload, slab: true})
 }
@@ -201,11 +208,14 @@ func (p *Proc) dispatchBatch(m message) {
 		start = time.Now()
 	}
 	count, delivered := 0, 0
+	var fid uint64
 	ok := len(pl) >= batchHeaderLen
 	if ok {
 		count = int(int32(binary.LittleEndian.Uint32(pl)))
+		fid = binary.LittleEndian.Uint64(pl[4:batchHeaderLen])
 		ok = count > 0
 	}
+	p.curFrameID = fid
 	off := batchHeaderLen
 	for i := 0; ok && i < count; i++ {
 		if len(pl)-off < batchEntryHdrLen {
@@ -247,8 +257,9 @@ func (p *Proc) dispatchBatch(m message) {
 				p.rank, m.src, len(pl), delivered, count))
 		}
 	}
+	p.curFrameID = 0
 	if traced {
-		p.recordRecv(m.src, m.tag, len(pl), start, time.Since(start))
+		p.recordRecv(m.src, m.tag, len(pl), fid, start, time.Since(start))
 	}
 	// Perfect wire: this was the frame's only delivery and the handler is
 	// done with it — recycle the slab into the sender's pool. (Reliable
@@ -276,6 +287,12 @@ func (p *Proc) slabGet() []byte {
 	}
 	return make([]byte, batchHeaderLen, limit+512)
 }
+
+// DispatchFrameID returns the id of the coalesced frame currently being
+// unpacked — meaningful only inside a batched handler, on the progress
+// goroutine (0 elsewhere, and for malformed frames too short to carry one).
+// Frame ids are world-unique and never zero.
+func (p *Proc) DispatchFrameID() uint64 { return p.curFrameID }
 
 // slabPut returns a frame buffer to this rank's pool.
 func (p *Proc) slabPut(b []byte) {

@@ -203,9 +203,11 @@ type Proc struct {
 	launched atomic.Bool // Start ran; stopped will eventually close
 
 	// Chrome-trace event log (World.EnableTracing); guarded because Send may
-	// run on any goroutine.
+	// run on any goroutine. asyncSeq numbers the async ("b"/"e") dispatch
+	// span pairs, also under traceMu.
 	traceMu  sync.Mutex
 	traceEvs []metrics.ChromeEvent
+	asyncSeq uint64
 
 	onTerminate func()
 	onError     func(err error)
@@ -222,12 +224,17 @@ type Proc struct {
 
 	// Activation coalescing state (see batch.go). batch is indexed by
 	// destination; batchTag is the single batched application tag (-1 when
-	// none); slabs is this rank's pool of recycled frame buffers.
+	// none); slabs is this rank's pool of recycled frame buffers. frameSeq
+	// numbers flushed frames (any goroutine may flush); curFrameID is the id
+	// of the frame being unpacked, progress-goroutine private, exposed to
+	// batched handlers via DispatchFrameID for causal tracing.
 	batch      []batchBuf
 	batchTag   int
 	batchLimit int
 	slabMu     sync.Mutex
 	slabs      [][]byte
+	frameSeq   atomic.Uint64
+	curFrameID uint64
 
 	// progress-goroutine-private bookkeeping
 	terminated   bool
@@ -371,7 +378,7 @@ func (p *Proc) Send(dst, tag int, payload []byte) {
 		m.bytesSent.Add(p.rank, uint64(len(payload)))
 	}
 	if p.world.trace.Load() {
-		p.recordSend(dst, tag, len(payload))
+		p.recordSend(dst, tag, len(payload), 0)
 	}
 	p.post(dst, message{src: p.rank, tag: tag, payload: payload})
 }
@@ -652,7 +659,7 @@ func (p *Proc) dispatch(m message) bool {
 		if p.world.trace.Load() {
 			start := time.Now()
 			h(m.src, m.payload)
-			p.recordRecv(m.src, m.tag, len(m.payload), start, time.Since(start))
+			p.recordRecv(m.src, m.tag, len(m.payload), 0, start, time.Since(start))
 		} else {
 			h(m.src, m.payload)
 		}

@@ -104,7 +104,12 @@ const commTraceTid = -1
 
 // recordSend appends an instant event for an application send. Send is safe
 // from any goroutine, so the log is mutex-guarded (tracing is opt-in).
-func (p *Proc) recordSend(dst, tag, bytes int) {
+// frame is the coalesced-frame id (0 for non-batched sends).
+func (p *Proc) recordSend(dst, tag, bytes int, frame uint64) {
+	args := map[string]any{"dst": dst, "tag": tag, "bytes": bytes}
+	if frame != 0 {
+		args["frame"] = frame
+	}
 	ev := metrics.ChromeEvent{
 		Name:  fmt.Sprintf("send tag%d->%d", tag, dst),
 		Cat:   "comm,send",
@@ -112,28 +117,38 @@ func (p *Proc) recordSend(dst, tag, bytes int) {
 		Start: time.Now(),
 		Pid:   p.rank,
 		Tid:   commTraceTid,
-		Args:  map[string]any{"dst": dst, "tag": tag, "bytes": bytes},
+		Args:  args,
 	}
 	p.traceMu.Lock()
 	p.traceEvs = append(p.traceEvs, ev)
 	p.traceMu.Unlock()
 }
 
-// recordRecv appends a span covering one handler dispatch (runs on the
-// progress goroutine; the mutex only excludes concurrent senders).
-func (p *Proc) recordRecv(src, tag, bytes int, start time.Time, dur time.Duration) {
-	ev := metrics.ChromeEvent{
-		Name:  fmt.Sprintf("recv tag%d<-%d", tag, src),
-		Cat:   "comm,recv",
-		Phase: "X",
-		Start: start,
-		Dur:   dur,
-		Pid:   p.rank,
-		Tid:   commTraceTid,
-		Args:  map[string]any{"src": src, "tag": tag, "bytes": bytes},
+// recordRecv appends a span covering one handler dispatch. Dispatches from
+// several source ranks interleave on the progress goroutine's single trace
+// lane (tid -1), so a complete-"X" event would render torn or spuriously
+// nested in Perfetto; each dispatch is instead an async "b"/"e" pair with
+// its own pairing id, which the viewer draws on a separate async track per
+// id (the mutex only excludes concurrent senders appending to the log).
+// frame is the coalesced-frame id (0 for non-batched dispatches).
+func (p *Proc) recordRecv(src, tag, bytes int, frame uint64, start time.Time, dur time.Duration) {
+	name := fmt.Sprintf("recv tag%d<-%d", tag, src)
+	args := map[string]any{"src": src, "tag": tag, "bytes": bytes}
+	if frame != 0 {
+		args["frame"] = frame
 	}
 	p.traceMu.Lock()
-	p.traceEvs = append(p.traceEvs, ev)
+	p.asyncSeq++
+	id := uint64(p.rank+1)<<40 | p.asyncSeq
+	p.traceEvs = append(p.traceEvs,
+		metrics.ChromeEvent{
+			Name: name, Cat: "comm,recv", Phase: "b",
+			Start: start, Pid: p.rank, Tid: commTraceTid, ID: id, Args: args,
+		},
+		metrics.ChromeEvent{
+			Name: name, Cat: "comm,recv", Phase: "e",
+			Start: start.Add(dur), Pid: p.rank, Tid: commTraceTid, ID: id,
+		})
 	p.traceMu.Unlock()
 }
 

@@ -113,19 +113,22 @@ func TestWorldMetricsAndTracing(t *testing.T) {
 	}
 
 	evs := h.world.ChromeEvents()
-	var sends, recvs int
+	var sends, recvBegins, recvEnds int
 	for _, e := range evs {
 		switch e.Phase {
 		case "i":
 			sends++
-		case "X":
-			recvs++
+		case "b":
+			recvBegins++
+		case "e":
+			recvEnds++
 		}
 		if e.Tid != commTraceTid {
 			t.Fatalf("comm event on tid %d, want %d", e.Tid, commTraceTid)
 		}
 	}
-	if sends != hops+1 || recvs != hops+1 {
-		t.Fatalf("trace has %d sends / %d recvs, want %d each", sends, recvs, hops+1)
+	if sends != hops+1 || recvBegins != hops+1 || recvEnds != hops+1 {
+		t.Fatalf("trace has %d sends / %d+%d recv begin/end pairs, want %d each",
+			sends, recvBegins, recvEnds, hops+1)
 	}
 }

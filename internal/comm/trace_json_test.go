@@ -1,0 +1,88 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gottg/internal/metrics"
+	"gottg/internal/termdet"
+)
+
+// TestRecvTraceAsyncPairsJSON is the regression test for the torn receive
+// spans: handler dispatches on a rank's single comm lane (tid -1) must be
+// emitted as async "b"/"e" pairs — matched by a per-dispatch id — rather
+// than complete "X" events, and the ids must survive the JSON round trip.
+func TestRecvTraceAsyncPairsJSON(t *testing.T) {
+	const n = 2
+	const hops = 17
+	h := newHarness(n)
+	h.world.EnableTracing()
+	for i := 0; i < n; i++ {
+		i := i
+		h.world.Proc(i).Register(0, func(src int, payload []byte) {
+			if payload[0] == 0 {
+				return
+			}
+			h.world.Proc(i).Send((i+1)%n, 0, []byte{payload[0] - 1})
+		})
+	}
+	h.dets[0].Discovered(termdet.ExternalSlot)
+	h.start()
+	h.world.Proc(0).Send(1, 0, []byte{hops})
+	h.dets[0].Completed(termdet.ExternalSlot)
+	h.waitAll(t)
+	evs := h.world.ChromeEvents()
+
+	var buf bytes.Buffer
+	if err := metrics.WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+			ID   string `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v", err)
+	}
+	begins := map[string]string{} // pairing id -> event name
+	ends := map[string]string{}
+	for _, e := range doc.TraceEvents {
+		if e.Cat != "comm,recv" {
+			continue
+		}
+		switch e.Ph {
+		case "b":
+			if e.ID == "" {
+				t.Fatalf("recv begin without pairing id: %+v", e)
+			}
+			if _, dup := begins[e.ID]; dup {
+				t.Fatalf("pairing id %s reused", e.ID)
+			}
+			begins[e.ID] = e.Name
+		case "e":
+			ends[e.ID] = e.Name
+		default:
+			t.Fatalf("recv event with phase %q, want async b/e", e.Ph)
+		}
+		if e.Tid != commTraceTid {
+			t.Fatalf("recv event on tid %d, want %d", e.Tid, commTraceTid)
+		}
+	}
+	if len(begins) != hops+1 {
+		t.Fatalf("%d recv pairs traced, want %d", len(begins), hops+1)
+	}
+	if len(begins) != len(ends) {
+		t.Fatalf("%d begins vs %d ends", len(begins), len(ends))
+	}
+	for id, name := range begins {
+		if ends[id] != name {
+			t.Fatalf("pair %s: begin %q vs end %q", id, name, ends[id])
+		}
+	}
+}

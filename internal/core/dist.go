@@ -13,8 +13,17 @@ const activationTag = 0
 
 // actHeaderLen is the fixed activation header:
 //
-//	[1B hasPayload][4B ttID][4B slot][8B key]
+//	[1B flags][4B ttID][4B slot][8B key]
+//
+// actFlagSpan (set only under causal tracing) appends the producer's 8-byte
+// span id between the header and the payload, so the receive side can tie
+// the delivery back to the remote span that performed the send.
 const actHeaderLen = 17
+
+const (
+	actFlagPayload = 1 << 0
+	actFlagSpan    = 1 << 1
+)
 
 // RegisterPayload registers a concrete payload type for cross-rank
 // serialization (gob fallback). Call once per type before MakeExecutable on
@@ -27,18 +36,27 @@ func RegisterPayload(v any) { gob.Register(v) }
 // buffer (the frame ships when a flush rule fires; see comm/batch.go).
 // Entry format:
 //
-//	[1B hasPayload][4B ttID][4B slot][8B key][1B codecID][payload bytes...]
+//	[1B flags][4B ttID][4B slot][8B key]([8B span])[1B codecID][payload bytes...]
 func (g *Graph) remoteSend(w *rt.Worker, tt *TT, slot int, key uint64, c *rt.Copy, owned bool) {
 	dstRank := tt.mapFn(key)
 	buf := g.proc.BatchBegin(dstRank)
 	var hdr [actHeaderLen]byte
 	if c != nil {
-		hdr[0] = 1
+		hdr[0] |= actFlagPayload
+	}
+	if g.causal {
+		hdr[0] |= actFlagSpan
 	}
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(tt.id))
 	binary.LittleEndian.PutUint32(hdr[5:], uint32(slot))
 	binary.LittleEndian.PutUint64(hdr[9:], key)
 	buf = append(buf, hdr[:]...)
+	if g.causal {
+		// The producer span performing this send (0 when seeding).
+		var span [8]byte
+		binary.LittleEndian.PutUint64(span[:], w.CauseCtx().SpanID)
+		buf = append(buf, span[:]...)
+	}
 	if c != nil {
 		var err error
 		// The batch buffer lock held between BatchBegin and BatchEnd is what
@@ -67,10 +85,21 @@ func (g *Graph) handleActivation(src int, payload []byte) {
 		g.rtm.Abort(fmt.Errorf("ttg: malformed activation from rank %d: %d bytes", src, len(payload)))
 		return
 	}
-	hasPayload := payload[0] == 1
+	flags := payload[0]
+	hasPayload := flags&actFlagPayload != 0
 	ttID := binary.LittleEndian.Uint32(payload[1:])
 	slot := int(binary.LittleEndian.Uint32(payload[5:]))
 	key := binary.LittleEndian.Uint64(payload[9:])
+	body := payload[actHeaderLen:]
+	var producerSpan uint64
+	if flags&actFlagSpan != 0 {
+		if len(body) < 8 {
+			g.rtm.Abort(fmt.Errorf("ttg: malformed activation from rank %d: span flag without span id", src))
+			return
+		}
+		producerSpan = binary.LittleEndian.Uint64(body)
+		body = body[8:]
+	}
 	if int(ttID) >= len(g.tts) {
 		g.rtm.Abort(fmt.Errorf("ttg: activation from rank %d names unknown TT %d", src, ttID))
 		return
@@ -83,12 +112,21 @@ func (g *Graph) handleActivation(src int, payload []byte) {
 	cw := g.rtm.ServiceWorker(1)
 	var c *rt.Copy
 	if hasPayload {
-		v, err := g.decodePayload(src, payload[actHeaderLen:])
+		v, err := g.decodePayload(src, body)
 		if err != nil {
 			g.rtm.Abort(fmt.Errorf("ttg: cannot deserialize payload for %s from rank %d: %v", tt.name, src, err))
 			return
 		}
 		c = cw.NewCopy(v)
+	}
+	if g.causal {
+		// Attribute the local delivery to the remote producer span and the
+		// wire frame that carried it. handleActivation never nests (batched
+		// handlers run sequentially on the progress goroutine), but reset the
+		// context after the delivery so later non-activation work on this
+		// service identity does not inherit it.
+		cw.SetCauseCtx(rt.CauseCtx{SpanID: producerSpan, Rank: src, Frame: g.proc.DispatchFrameID()})
+		defer cw.SetCauseCtx(rt.CauseCtx{})
 	}
 	g.deliver(cw, dest{tt: tt, slot: slot}, key, c, true)
 }

@@ -33,6 +33,7 @@ type Graph struct {
 	tts []*TT
 
 	frozen bool
+	causal bool // EnableCausalTracing: deliveries record span causality
 
 	// waitCalled guards against double Wait; endOnce makes the seed-guard
 	// release (EndAction) safe under concurrent/repeated Wait and WaitFor
@@ -304,6 +305,21 @@ func (g *Graph) Dot() string {
 func (g *Graph) EnableTracing() {
 	g.mustBeOpen()
 	g.rtm.EnableTracing()
+}
+
+// EnableCausalTracing extends EnableTracing with causality: every task span
+// records the spans whose sends satisfied its inputs (locally and, for
+// distributed graphs, across ranks via the comm frame id that carried the
+// activation), plus discovery/ready timestamps. Feed the recorded trace to
+// obs/critpath for critical-path analysis. This is an explicitly paid-for
+// profiling mode (one span allocation per task plus a wider activation wire
+// header); must be called before MakeExecutable. Not supported together with
+// EnableFaultTolerance's wire path: FT graphs keep local causality only
+// (remote causes appear as roots).
+func (g *Graph) EnableCausalTracing() {
+	g.mustBeOpen()
+	g.rtm.EnableCausalTracing()
+	g.causal = true
 }
 
 // EnableMetrics switches on the unified observability layer for this graph:

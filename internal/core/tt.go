@@ -170,6 +170,14 @@ func (tt *TT) newTask(w *rt.Worker, key uint64) *rt.Task {
 // completion for termination detection.
 func ttExecute(w *rt.Worker, t *rt.Task) {
 	tt := t.TT.(*TT)
+	if tt.g.causal {
+		// Identify the executing span on this worker so deliveries performed
+		// by the body are attributed to it (save/restore handles inlined
+		// child executions nesting on the same worker stack).
+		saved := w.CauseCtx()
+		w.SetCauseCtx(rt.CauseCtx{SpanID: t.SpanID(), Rank: tt.g.rank})
+		defer w.SetCauseCtx(saved)
+	}
 	if ft := tt.g.ft; ft != nil {
 		// Identify the executing task on this worker identity so its sends
 		// get deterministic activation ids. Save/restore handles inlined
@@ -300,6 +308,10 @@ func (g *Graph) deliverLocal(w *rt.Worker, d dest, key uint64, c *rt.Copy, owned
 	if tt.bypass {
 		t := tt.newTask(w, key)
 		t.SetInput(0, c)
+		if g.causal {
+			t.AddCause(w.CauseCtx())
+			t.MarkReady()
+		}
 		w.Discovered()
 		g.dispatch(w, t)
 		return
@@ -334,8 +346,14 @@ func (g *Graph) deliverLocal(w *rt.Worker, d dest, key uint64, c *rt.Copy, owned
 	default:
 		t.SetInput(d.slot, c)
 	}
+	if g.causal {
+		t.AddCause(w.CauseCtx())
+	}
 	ready := t.SatisfyDep(w, 1)
 	if ready {
+		if g.causal {
+			t.MarkReady() // still under the bucket lock: span writes are owned
+		}
 		tt.ht.NoLockRemove(key)
 		if mx := g.mx; mx != nil {
 			mx.htRemove.Inc(slot)

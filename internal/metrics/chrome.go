@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -15,11 +16,13 @@ import (
 type ChromeEvent struct {
 	Name  string         // event name (task name, message tag)
 	Cat   string         // comma-separated categories ("task", "comm", ...)
-	Phase string         // "X" complete, "i" instant, "C" counter
+	Phase string         // "X" complete, "i" instant, "C" counter, "s"/"f" flow, "b"/"e" async
 	Start time.Time      // absolute wall-clock start
 	Dur   time.Duration  // duration (complete events only)
 	Pid   int            // process lane (rank in distributed runs)
 	Tid   int            // thread lane (worker ID, or a per-rank lane)
+	ID    uint64         // pairing id for flow ("s"/"f") and async ("b"/"e") events
+	BP    string         // flow binding point ("e" binds an "f" to the enclosing slice)
 	Args  map[string]any // free-form args shown in the viewer
 }
 
@@ -30,7 +33,10 @@ func CounterEvent(name string, pid int, ts time.Time, values map[string]any) Chr
 	return ChromeEvent{Name: name, Cat: "metrics", Phase: "C", Start: ts, Pid: pid, Args: values}
 }
 
-// chromeJSON is the wire form (ts/dur in microseconds).
+// chromeJSON is the wire form (ts/dur in microseconds). Flow and async
+// pairing ids are emitted as hex strings: the trace_event format allows
+// string ids, and 64-bit ids with high rank bits would lose precision as
+// JSON numbers.
 type chromeJSON struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat"`
@@ -39,7 +45,9 @@ type chromeJSON struct {
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
-	S    string         `json:"s,omitempty"` // instant-event scope
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"` // flow binding point
+	S    string         `json:"s,omitempty"`  // instant-event scope
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -71,6 +79,10 @@ func WriteChromeTrace(w io.Writer, events []ChromeEvent) error {
 		if e.Phase == "i" {
 			j.S = "t" // thread-scoped instant
 		}
+		if e.ID != 0 {
+			j.ID = "0x" + strconv.FormatUint(e.ID, 16)
+		}
+		j.BP = e.BP
 		out = append(out, j)
 	}
 	return json.NewEncoder(w).Encode(map[string]any{"traceEvents": out})

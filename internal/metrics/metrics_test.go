@@ -110,6 +110,29 @@ func TestFlattenAndNames(t *testing.T) {
 	}
 }
 
+// TestFlattenEmptyHistogram pins the guard on never-observed histograms: a
+// registered-but-empty histogram must flatten to finite zeros (mean 0, not
+// NaN from 0/0), since Flatten feeds straight into BENCH records whose
+// metrics must validate as finite.
+func TestFlattenEmptyHistogram(t *testing.T) {
+	r := NewRegistry(1)
+	r.Histogram("never")
+	s := r.Snapshot()
+	if m := s.Histograms["never"].Mean(); m != 0 {
+		t.Fatalf("empty histogram mean = %v, want 0", m)
+	}
+	f := s.Flatten()
+	for _, k := range []string{"never.count", "never.sum", "never.mean", "never.p50", "never.p99"} {
+		v, ok := f[k]
+		if !ok {
+			t.Fatalf("flatten missing %q: %v", k, f)
+		}
+		if v != v || v != 0 { // v != v catches NaN
+			t.Fatalf("%s = %v, want 0", k, v)
+		}
+	}
+}
+
 func TestWriteChromeTrace(t *testing.T) {
 	t0 := time.Now()
 	evs := []ChromeEvent{

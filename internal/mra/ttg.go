@@ -231,15 +231,28 @@ func Run(p *Problem, cfg rt.Config) (*Forest, Result) {
 // completes, sink receives the graph (dump with
 // g.Runtime().WriteChromeTrace or inspect g.Runtime().Trace()).
 func RunTraced(p *Problem, cfg rt.Config, sink func(g *core.Graph)) (*Forest, Result) {
-	return run(p, cfg, sink)
+	return runSink(p, cfg, sink, false)
+}
+
+// RunCausal is RunTraced with causal tracing on: recorded spans carry
+// producer links, so sink can feed g.Runtime().Trace() into
+// internal/obs/critpath for critical-path analysis and flow export.
+func RunCausal(p *Problem, cfg rt.Config, sink func(g *core.Graph)) (*Forest, Result) {
+	return runSink(p, cfg, sink, true)
 }
 
 func run(p *Problem, cfg rt.Config, sink func(g *core.Graph)) (*Forest, Result) {
+	return runSink(p, cfg, sink, false)
+}
+
+func runSink(p *Problem, cfg rt.Config, sink func(g *core.Graph), causal bool) (*Forest, Result) {
 	b := NewBasis(p.K)
 	fo := &Forest{}
 	g := core.New(cfg)
 	m := NewGraph(g, p, b, fo)
-	if sink != nil {
+	if causal {
+		g.EnableCausalTracing()
+	} else if sink != nil {
 		g.EnableTracing()
 	}
 	g.MakeExecutable()

@@ -1,0 +1,175 @@
+// Package obs surfaces the repo's observability substrate to the outside
+// world: a Prometheus text-exposition writer for metrics.Registry snapshots
+// and an opt-in HTTP endpoint (Serve) for live mid-run inspection — the
+// merged metrics in Prometheus and JSON form plus net/http/pprof.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+
+	"gottg/internal/metrics"
+)
+
+// SnapshotFunc returns a point-in-time metrics snapshot. Registry.Snapshot
+// and the graph/world MetricsSnapshot methods satisfy it directly.
+type SnapshotFunc func() metrics.Snapshot
+
+// Merge combines snapshots from independent registries (e.g. a graph's
+// runtime registry and the comm world's wire registry). Names collide only
+// if two sources export the same metric; counters are summed, gauges and
+// histograms take the later source.
+func Merge(snaps ...metrics.Snapshot) metrics.Snapshot {
+	out := metrics.Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]metrics.HistSnapshot{},
+	}
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+		for k, v := range s.Histograms {
+			out.Histograms[k] = v
+		}
+	}
+	return out
+}
+
+// promName maps a registry metric name onto the Prometheus naming grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): dots and every other foreign rune become
+// underscores, and a leading digit is prefixed.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			if r >= '0' && r <= '9' { // leading digit
+				b.WriteByte('_')
+				b.WriteRune(r)
+				continue
+			}
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4). Counters and gauges map directly; the log2
+// histograms become cumulative `le` buckets at the power-of-two boundaries
+// (bucket i of the registry counts values v with 2^(i-1) <= v < 2^i, so its
+// cumulative upper bound is le = 2^i - 1), plus the standard _sum/_count
+// series. Output is sorted by name, so it is diff-stable.
+func WritePrometheus(w io.Writer, snap metrics.Snapshot) error {
+	type line struct{ name, body string }
+	var lines []line
+
+	for name, v := range snap.Counters {
+		n := promName(name)
+		lines = append(lines, line{n, fmt.Sprintf("# TYPE %s counter\n%s %d\n", n, n, v)})
+	}
+	for name, v := range snap.Gauges {
+		n := promName(name)
+		lines = append(lines, line{n, fmt.Sprintf("# TYPE %s gauge\n%s %d\n", n, n, v)})
+	}
+	for name, h := range snap.Histograms {
+		n := promName(name)
+		var b strings.Builder
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		hi := 0
+		for i, c := range h.Buckets {
+			if c != 0 {
+				hi = i
+			}
+		}
+		var cum uint64
+		for i := 0; i <= hi; i++ {
+			cum += h.Buckets[i]
+			le := uint64(0)
+			if i > 0 {
+				le = 1<<uint(i) - 1
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", n, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
+		lines = append(lines, line{n, b.String()})
+	}
+
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	for _, l := range lines {
+		if _, err := io.WriteString(w, l.body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Server is a live observability endpoint. Close when done; the zero value
+// is not usable — create with Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP endpoint on addr (use "127.0.0.1:0" to let the
+// kernel pick a port; read it back with Addr) exposing:
+//
+//	/metrics        merged snapshot, Prometheus text exposition
+//	/snapshot.json  merged snapshot, JSON
+//	/debug/pprof/   the standard net/http/pprof handlers
+//
+// sources are polled per request, so a scrape observes the live run.
+// Registry snapshots are safe at any time by design; pass e.g.
+// graph.MetricsSnapshot and world.MetricsSnapshot.
+func Serve(addr string, sources ...SnapshotFunc) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	merged := func() metrics.Snapshot {
+		snaps := make([]metrics.Snapshot, len(sources))
+		for i, f := range sources {
+			snaps[i] = f()
+		}
+		return Merge(snaps...)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, merged())
+	})
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(merged())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the endpoint's listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

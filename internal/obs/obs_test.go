@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"gottg/internal/metrics"
+)
+
+func sampleSnapshot() metrics.Snapshot {
+	r := metrics.NewRegistry(1)
+	r.Counter("comm.msgs.sent").Inc(0)
+	r.Counter("comm.msgs.sent").Inc(0)
+	r.Gauge("9lives").Set(-3)
+	h := r.Histogram("rt.task.ns")
+	h.Observe(0, 1) // bucket 1 (le 1)
+	h.Observe(0, 6) // bucket 3 (le 7)
+	return r.Snapshot()
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE comm_msgs_sent counter\ncomm_msgs_sent 2\n",
+		"# TYPE _9lives gauge\n_9lives -3\n",
+		"# TYPE rt_task_ns histogram\n",
+		`rt_task_ns_bucket{le="1"} 1`,
+		`rt_task_ns_bucket{le="7"} 2`,
+		`rt_task_ns_bucket{le="+Inf"} 2`,
+		"rt_task_ns_sum 7\n",
+		"rt_task_ns_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted output: the gauge (leading underscore) precedes the counter.
+	if strings.Index(out, "_9lives") > strings.Index(out, "comm_msgs_sent") {
+		t.Fatalf("output not sorted by name:\n%s", out)
+	}
+}
+
+func TestMergeSumsCounters(t *testing.T) {
+	a := metrics.Snapshot{Counters: map[string]uint64{"x": 2}, Gauges: map[string]int64{"g": 1}}
+	b := metrics.Snapshot{Counters: map[string]uint64{"x": 3, "y": 1}, Gauges: map[string]int64{"g": 7}}
+	m := Merge(a, b)
+	if m.Counters["x"] != 5 || m.Counters["y"] != 1 {
+		t.Fatalf("counters %v", m.Counters)
+	}
+	if m.Gauges["g"] != 7 {
+		t.Fatalf("gauge merge %v, want last-wins 7", m.Gauges)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	snap := sampleSnapshot()
+	s, err := Serve("127.0.0.1:0", func() metrics.Snapshot { return snap })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(body, "comm_msgs_sent 2") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+	body, ct = get("/snapshot.json")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/snapshot.json content type %q", ct)
+	}
+	if !strings.Contains(body, `"comm.msgs.sent":2`) {
+		t.Fatalf("/snapshot.json body:\n%s", body)
+	}
+	body, _ = get("/debug/pprof/cmdline")
+	if len(body) == 0 {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

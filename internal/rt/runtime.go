@@ -27,6 +27,7 @@ type Runtime struct {
 
 	service [3]*Worker
 	trace   *tracer
+	causal  bool // EnableCausalTracing: tasks carry spans
 	mx      *rtMetrics
 
 	done    atomic.Bool

@@ -51,6 +51,9 @@ type Task struct {
 	inputs [MaxInlineInputs]*Copy
 	extra  []*Copy // spill for tasks with more than MaxInlineInputs inputs
 
+	// span is the causal trace record (nil unless EnableCausalTracing).
+	span *taskSpan
+
 	pool *Pool // owning pool, nil if heap-allocated
 }
 
@@ -117,6 +120,7 @@ func (t *Task) reset() {
 	t.nIn = 0
 	t.inputs = [MaxInlineInputs]*Copy{}
 	t.extra = t.extra[:0]
+	t.span = nil
 }
 
 // Copy is a reference-counted data copy flowing along graph edges — the

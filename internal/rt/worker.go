@@ -92,6 +92,12 @@ type Worker struct {
 	inlineDepth int
 	victims     []int // scratch for steal-order scans
 
+	// Causal-tracing state: spanSeq allocates span ids, causeCtx is the
+	// ambient producer context frontends set around deliveries (see
+	// SetCauseCtx). Both owner-goroutine only.
+	spanSeq  uint64
+	causeCtx CauseCtx
+
 	// deferred accumulates ready tasks during one execution when
 	// Config.BundleReady is set; flushed as a sorted chain at task end.
 	deferred     *Task
@@ -150,14 +156,20 @@ func (w *Worker) Runtime() *Runtime { return w.rt }
 // NewTask obtains a task object (recycled when pools are enabled).
 func (w *Worker) NewTask() *Task {
 	w.Stats.TasksGot.Add(1)
+	var t *Task
 	if w.rt.cfg.UsePools {
-		return w.TaskPool.Get(w)
+		t = w.TaskPool.Get(w)
+	} else {
+		w.countAtomic(&w.Atomics.Alloc)
+		if m := w.mx; m != nil {
+			m.poolTaskMiss.Inc(w.htSlot)
+		}
+		t = &Task{}
 	}
-	w.countAtomic(&w.Atomics.Alloc)
-	if m := w.mx; m != nil {
-		m.poolTaskMiss.Inc(w.htSlot)
+	if w.rt.causal {
+		t.span = w.newSpan()
 	}
-	return &Task{}
+	return t
 }
 
 // FreeTask recycles a task to its owning pool (or drops it for the GC).
@@ -320,11 +332,11 @@ func (w *Worker) execute(t *Task) {
 	sampled := m != nil && w.sampleTick()
 	if w.rt.trace != nil || sampled {
 		start := time.Now()
-		tt, key := t.TT, t.Key() // t is recycled inside Exec; capture first
+		tt, key, span := t.TT, t.Key(), t.span // t is recycled inside Exec; capture first
 		w.invoke(t)
 		dur := time.Since(start)
 		if w.rt.trace != nil {
-			w.recordNamed(tt, key, start, dur, false)
+			w.recordNamed(tt, key, start, dur, false, span)
 		}
 		if sampled {
 			m.taskNs.Observe(w.htSlot, uint64(dur.Nanoseconds()))
@@ -406,11 +418,11 @@ func (w *Worker) TryInline(t *Task) bool {
 	sampled := m != nil && w.sampleTick()
 	if w.rt.trace != nil || sampled {
 		start := time.Now()
-		tt, key := t.TT, t.Key()
+		tt, key, span := t.TT, t.Key(), t.span
 		w.invoke(t)
 		dur := time.Since(start)
 		if w.rt.trace != nil {
-			w.recordNamed(tt, key, start, dur, true)
+			w.recordNamed(tt, key, start, dur, true, span)
 		}
 		if sampled {
 			m.taskNs.Observe(w.htSlot, uint64(dur.Nanoseconds()))

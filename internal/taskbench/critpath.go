@@ -1,0 +1,98 @@
+package taskbench
+
+import (
+	"sync"
+	"time"
+
+	"gottg/internal/comm"
+	"gottg/internal/core"
+	"gottg/internal/metrics"
+	"gottg/internal/obs/critpath"
+	"gottg/internal/rt"
+)
+
+// TracedDist is one causally traced distributed run: the benchmark result,
+// the causal spans of every rank (ready for critpath.Analyze), the merged
+// Chrome trace (task slices, comm events, and producer→consumer flow
+// events), and the aggregated atomic-operation audit for the perfmodel
+// cross-check.
+type TracedDist struct {
+	Result  Result
+	Spans   []critpath.Span
+	Events  []metrics.ChromeEvent
+	Atomics rt.AtomicCounts
+}
+
+// RunDistributedTTGTraced executes the Task-Bench spec over `ranks`
+// simulated processes with causal tracing on: every task span records which
+// producer spans satisfied its inputs (locally and across ranks via the
+// comm frame ids), so the returned spans support critical-path analysis and
+// the returned events include cross-rank flow arrows. This is an
+// instrumented profiling run — throughput numbers from it are not
+// comparable to the uninstrumented runners.
+func RunDistributedTTGTraced(s Spec, ranks, workersPerRank int) TracedDist {
+	if ranks > s.Width {
+		ranks = s.Width
+	}
+	world := comm.NewWorld(ranks)
+	world.EnableMetrics()
+	world.EnableTracing()
+	mapper := func(key uint64) int {
+		_, p := core.Unpack2(key)
+		return int(p) * ranks / s.Width
+	}
+
+	lastVals := make([]float64, s.Width)
+	var lastMu sync.Mutex
+
+	graphs := make([]*core.Graph, ranks)
+	points := make([]*core.TT, ranks)
+	for r := 0; r < ranks; r++ {
+		cfg := rt.OptimizedConfig(workersPerRank)
+		cfg.PinWorkers = false
+		cfg.CountAtomics = true
+		graphs[r] = core.NewDistributed(cfg, world.Proc(r))
+		graphs[r].EnableCausalTracing()
+		points[r] = buildPointTT(graphs[r], s, mapper, lastVals, &lastMu)
+	}
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			graphs[r].MakeExecutable()
+			for p := 0; p < s.Width; p++ { // SPMD seeding; owners keep
+				graphs[r].Invoke(points[r], core.Pack2(0, uint32(p)), &pointVal{P: p})
+			}
+			graphs[r].Wait()
+		}(r)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	out := TracedDist{}
+	for r := 0; r < ranks; r++ {
+		rtm := graphs[r].Runtime()
+		out.Spans = append(out.Spans, critpath.FromTrace(r, rtm.Trace())...)
+		out.Events = append(out.Events, graphs[r].ChromeEvents()...)
+		a := rtm.Atomics()
+		out.Atomics.Pool += a.Pool
+		out.Atomics.Input += a.Input
+		out.Atomics.CopyRef += a.CopyRef
+		out.Atomics.Bucket += a.Bucket
+		out.Atomics.RWLock += a.RWLock
+		out.Atomics.Sched += a.Sched
+		out.Atomics.TermDet += a.TermDet
+		out.Atomics.Alloc += a.Alloc
+	}
+	out.Events = append(out.Events, critpath.FlowEvents(out.Spans)...)
+	world.Shutdown()
+
+	checksum := 0.0
+	for p := 0; p < s.Width; p++ {
+		checksum += lastVals[p]
+	}
+	out.Result = Result{Elapsed: elapsed, Checksum: checksum, Tasks: s.TotalTasks()}
+	return out
+}

@@ -1,0 +1,66 @@
+package taskbench
+
+import (
+	"testing"
+
+	"gottg/internal/obs/critpath"
+)
+
+// TestTracedDistributedStencilAttribution is the end-to-end check behind the
+// `ttg-bench critpath` acceptance: on a distributed stencil the critical
+// path's body + queue-wait + comm attribution must telescope exactly and
+// cover the measured wall clock to within 5% (the remainder is graph
+// start-up before the first seeded task and the termination wave after the
+// last one), and the merged trace must carry flow events spanning at least
+// two workers and two ranks.
+func TestTracedDistributedStencilAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rank traced run")
+	}
+	spec := Spec{Pattern: Stencil1D, Width: 16, Steps: 200, Flops: 20000}
+	td := RunDistributedTTGTraced(spec, 4, 2)
+	if want := spec.Reference(); td.Result.Checksum != want {
+		t.Fatalf("checksum %v, want %v", td.Result.Checksum, want)
+	}
+	if got, want := len(td.Spans), spec.TotalTasks(); got != want {
+		t.Fatalf("%d causal spans, want %d", got, want)
+	}
+	rep, err := critpath.Analyze(td.Spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BodyNs+rep.QueueNs+rep.CommNs != rep.LenNs {
+		t.Fatalf("attribution %d+%d+%d != len %d", rep.BodyNs, rep.QueueNs, rep.CommNs, rep.LenNs)
+	}
+	elapsed := td.Result.Elapsed.Nanoseconds()
+	if rep.LenNs > elapsed {
+		t.Fatalf("path len %dns exceeds elapsed %dns", rep.LenNs, elapsed)
+	}
+	if cov := float64(rep.LenNs) / float64(elapsed); cov < 0.95 {
+		t.Fatalf("critical path covers %.1f%% of elapsed, want >= 95%%", cov*100)
+	}
+	if rep.RemoteHops == 0 {
+		t.Fatal("no remote hops on a 4-rank stencil critical path")
+	}
+	if rep.CommNs == 0 {
+		t.Fatal("no comm latency attributed across remote hops")
+	}
+
+	// Flow events must link spans across both workers and ranks.
+	ranks := map[int]bool{}
+	workers := map[int]bool{}
+	var flows int
+	for _, e := range td.Events {
+		if e.Phase == "s" || e.Phase == "f" {
+			flows++
+			ranks[e.Pid] = true
+			workers[e.Tid] = true
+		}
+	}
+	if flows == 0 {
+		t.Fatal("merged trace has no flow events")
+	}
+	if len(ranks) < 2 || len(workers) < 2 {
+		t.Fatalf("flow events span %d ranks / %d workers, want >= 2 of each", len(ranks), len(workers))
+	}
+}

@@ -2,6 +2,7 @@ package taskbench
 
 import (
 	"testing"
+	"time"
 
 	"gottg/internal/rt"
 )
@@ -23,6 +24,37 @@ func metricsBenchRunner() TTGRunner {
 		cfg.PinWorkers = false
 		return cfg
 	}}
+}
+
+// TestMetricsOverheadBudget is the CI form of the gate: with metrics on and
+// causal tracing off (RunInstrumented never enables it), throughput must
+// stay near the uninstrumented run. The budget is <2% on quiet hardware;
+// the assertion allows 15% so shared CI runners don't flake, which still
+// catches the failure mode it guards against — accidentally timing every
+// task (≈2 clock reads per µs-scale task, ~10%+) or enabling span
+// allocation on the metrics-only path. Interleaved rounds with min-of-N
+// absorb most scheduler noise.
+func TestMetricsOverheadBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate")
+	}
+	spec, r := metricsBenchSpec(), metricsBenchRunner()
+	best := func(run func() Result) time.Duration {
+		min := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			if e := run().Elapsed; e < min {
+				min = e
+			}
+		}
+		return min
+	}
+	off := best(func() Result { return r.Run(spec, 2) })
+	on := best(func() Result { res, _ := r.RunInstrumented(spec, 2); return res })
+	ratio := float64(on) / float64(off)
+	t.Logf("metrics off %v, on %v, ratio %.3f", off, on, ratio)
+	if ratio > 1.15 {
+		t.Fatalf("metrics overhead ratio %.3f exceeds budget (off %v, on %v)", ratio, off, on)
+	}
 }
 
 func BenchmarkTTGStencilMetricsOff(b *testing.B) {
