@@ -75,6 +75,15 @@ func main() {
 	if *flagVerify {
 		want = spec.Reference()
 	}
+	if *flagRankID >= 0 {
+		// Child mode: run one rank of a -net world and report on stdout.
+		runNetChild(spec)
+		return
+	}
+	if *flagRanks > 0 && *flagNet {
+		runNetParent(spec, *flagRanks, *flagVerify, want)
+		return
+	}
 	if *flagRanks > 0 && *flagKillRank >= 0 {
 		// Fault-tolerant run with one rank fail-stopped mid-run: the
 		// survivors re-home its keys and re-execute its tasks, so the

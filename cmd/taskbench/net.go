@@ -1,0 +1,227 @@
+// Multi-process network mode: with -net, rank 0's process (the launcher)
+// reserves one loopback TCP port per rank, re-execs itself once per rank
+// with -rank-id/-peers, and merges the children's JSON reports into the
+// run's checksum — each rank is a real OS process talking real sockets.
+// With -net-kill-rank, the victim process SIGKILLs itself mid-run and the
+// launcher verifies the survivors recovered through the fail-stop path.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"gottg/internal/comm/tcptransport"
+	"gottg/internal/taskbench"
+)
+
+var (
+	flagNet       = flag.Bool("net", false, "with -ranks: run each rank as a separate OS process over loopback TCP")
+	flagRankID    = flag.Int("rank-id", -1, "internal: run as this rank of a -net world (child mode)")
+	flagPeers     = flag.String("peers", "", "internal: comma-separated rank addresses for -rank-id mode")
+	flagSuspectMS = flag.Int("net-suspect-ms", 2000, "failure-detection suspicion budget (ms) for -net runs")
+
+	flagNetKillRank  = flag.Int("net-kill-rank", -1, "with -net: SIGKILL this rank's process mid-run")
+	flagNetKillAfter = flag.Int64("net-kill-after", 50, "kill the -net victim after it has executed this many tasks")
+
+	flagFaultSeed     = flag.Uint64("net-fault-seed", 0, "with -net: seed the socket fault injector (0 = off)")
+	flagFaultConnKill = flag.Float64("net-fault-connkill", 0, "per-frame probability of killing the connection")
+	flagFaultTorn     = flag.Float64("net-fault-torn", 0, "per-frame probability of a torn write")
+	flagFaultPart     = flag.Float64("net-fault-partition", 0, "per-frame probability of starting a partition episode")
+)
+
+const netResultMarker = "GOTTG_NET_RESULT "
+
+// netFaultConfig assembles the child's fault injector config from flags
+// (nil when no fault seed was given), offsetting the seed per rank so the
+// fault streams differ across processes but replay deterministically.
+func netFaultConfig(rank int) *tcptransport.FaultConfig {
+	if *flagFaultSeed == 0 {
+		return nil
+	}
+	return &tcptransport.FaultConfig{
+		Seed:          *flagFaultSeed + uint64(rank)*0x9e3779b97f4a7c15,
+		ConnKillProb:  *flagFaultConnKill,
+		TornWriteProb: *flagFaultTorn,
+		PartitionProb: *flagFaultPart,
+	}
+}
+
+// runNetChild executes one rank and reports its NetRankResult on stdout.
+func runNetChild(spec taskbench.Spec) {
+	rank := *flagRankID
+	peers := strings.Split(*flagPeers, ",")
+	tr, err := tcptransport.New(tcptransport.Config{
+		Self:  rank,
+		Peers: peers,
+		Fault: netFaultConfig(rank),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rank %d: %v\n", rank, err)
+		os.Exit(1)
+	}
+	o := taskbench.NetOptions{
+		Workers:      *flagThreads,
+		FT:           true,
+		SuspectAfter: time.Duration(*flagSuspectMS) * time.Millisecond,
+	}
+	if *flagNetKillRank == rank {
+		o.KillAfterTasks = *flagNetKillAfter
+		o.KillFunc = func() {
+			// A real fail-stop: SIGKILL, no deferred cleanup, no flushes.
+			p, _ := os.FindProcess(os.Getpid())
+			p.Kill()
+		}
+	}
+	res, err := taskbench.RunDistributedTTGRank(spec, tr, o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rank %d: %v\n", rank, err)
+		os.Exit(1)
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rank %d: %v\n", rank, err)
+		os.Exit(1)
+	}
+	fmt.Println(netResultMarker + string(out))
+}
+
+// runNetParent launches ranks as child processes and merges their reports.
+func runNetParent(spec taskbench.Spec, ranks int, verify bool, want float64) {
+	if ranks > spec.Width {
+		ranks = spec.Width
+	}
+	lns, addrs, err := taskbench.LoopbackAddrs(ranks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Free the reserved ports so the children can re-bind them.
+	for _, ln := range lns {
+		ln.Close()
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	outs := make([]bytes.Buffer, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for r := 0; r < ranks; r++ {
+		args := []string{
+			"-rank-id", fmt.Sprint(r),
+			"-peers", strings.Join(addrs, ","),
+			"-pattern", spec.Pattern.String(),
+			"-width", fmt.Sprint(spec.Width),
+			"-steps", fmt.Sprint(spec.Steps),
+			"-flops", fmt.Sprint(spec.Flops),
+			"-threads", fmt.Sprint(*flagThreads),
+			"-net-suspect-ms", fmt.Sprint(*flagSuspectMS),
+			"-net-kill-rank", fmt.Sprint(*flagNetKillRank),
+			"-net-kill-after", fmt.Sprint(*flagNetKillAfter),
+			"-net-fault-seed", fmt.Sprint(*flagFaultSeed),
+			"-net-fault-connkill", fmt.Sprint(*flagFaultConnKill),
+			"-net-fault-torn", fmt.Sprint(*flagFaultTorn),
+			"-net-fault-partition", fmt.Sprint(*flagFaultPart),
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = &outs[r]
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "start rank %d: %v\n", r, err)
+			os.Exit(1)
+		}
+		wg.Add(1)
+		go func(r int, cmd *exec.Cmd) {
+			defer wg.Done()
+			errs[r] = cmd.Wait()
+		}(r, cmd)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	var results []taskbench.NetRankResult
+	for r := 0; r < ranks; r++ {
+		if errs[r] != nil {
+			if r == *flagNetKillRank {
+				continue // the victim is supposed to die
+			}
+			fmt.Fprintf(os.Stderr, "rank %d process failed: %v\n%s", r, errs[r], outs[r].String())
+			os.Exit(1)
+		}
+		sc := bufio.NewScanner(bytes.NewReader(outs[r].Bytes()))
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		found := false
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, netResultMarker) {
+				continue
+			}
+			var res taskbench.NetRankResult
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, netResultMarker)), &res); err != nil {
+				fmt.Fprintf(os.Stderr, "rank %d: bad result: %v\n", r, err)
+				os.Exit(1)
+			}
+			results = append(results, res)
+			found = true
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "rank %d exited cleanly but reported nothing\n", r)
+			os.Exit(1)
+		}
+	}
+	if *flagNetKillRank >= 0 && errs[*flagNetKillRank] == nil {
+		fmt.Fprintf(os.Stderr, "victim rank %d exited cleanly; the kill never fired\n", *flagNetKillRank)
+		os.Exit(1)
+	}
+
+	res, err := taskbench.MergeNetResults(spec, results)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res.Elapsed = wall // report launcher wall time (includes process spawn)
+	if verify && math.Float64bits(res.Checksum) != math.Float64bits(want) {
+		fmt.Fprintf(os.Stderr, "CHECKSUM MISMATCH (got %v want %v)\n", res.Checksum, want)
+		os.Exit(1)
+	}
+
+	var reconnects, deaths, waveRestarts, reexecuted int64
+	for _, r := range results {
+		reconnects += r.Reconnects
+		reexecuted += r.Reexecuted
+		if r.Deaths > deaths {
+			deaths = r.Deaths
+		}
+		if r.WaveRestarts > waveRestarts {
+			waveRestarts = r.WaveRestarts
+		}
+	}
+	if *flagJSON {
+		emitRecord("TTG dist tcp multiproc", *flagThreads, ranks, res, spec, map[string]float64{
+			"comm.reconnects":       float64(reconnects),
+			"comm.rank_deaths":      float64(deaths),
+			"termdet.wave_restarts": float64(waveRestarts),
+			"core.tasks_reexecuted": float64(reexecuted),
+		})
+		return
+	}
+	status := ""
+	if verify {
+		status = "  checksum OK"
+	}
+	fmt.Printf("%-44s %10d tasks  %12v total  %10v/task%s\n",
+		fmt.Sprintf("TTG dist tcp (%d procs)", ranks), res.Tasks, res.Elapsed, res.PerTask(), status)
+	fmt.Printf("  reconnects=%d deaths=%d wave_restarts=%d reexecuted=%d\n",
+		reconnects, deaths, waveRestarts, reexecuted)
+}

@@ -117,6 +117,45 @@ func figBench(c *ctx) {
 		fmt.Printf("%-12s %2d ranks x%d  %8d tasks  %12.0f msgs/s  %9.2f acts/msg  (%d msgs, %d activations)\n",
 			"TTG dist", ranks, wpr, rec.Tasks, st.MsgsPerSec, st.ActsPerMsg, st.Messages, st.Activations)
 	}
+
+	// Loopback-TCP wire-path row: the same stencil over real sockets, one
+	// World per rank inside this process, so the in-process and TCP rows are
+	// directly comparable (the delta is serialization + kernel round trips).
+	tcpRes, rrs, err := taskbench.RunDistributedTTGTCP(spec, ranks, wpr, nil, taskbench.NetOptions{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: TTG dist tcp @%d ranks: %v\n", ranks, err)
+		os.Exit(1)
+	}
+	if tcpRes.Checksum != want {
+		fmt.Fprintf(os.Stderr, "bench: TTG dist tcp @%d ranks: checksum %v, want %v\n", ranks, tcpRes.Checksum, want)
+		os.Exit(1)
+	}
+	var reconnects int64
+	for _, r := range rrs {
+		reconnects += r.Reconnects
+	}
+	tcpRec := bench.NewRecord("ttg-bench", "TTG dist tcp", wpr, int64(tcpRes.Tasks), tcpRes.Elapsed)
+	tcpRec.Ranks = ranks
+	tcpRec.Config = map[string]any{
+		"pattern":   spec.Pattern.String(),
+		"width":     spec.Width,
+		"steps":     spec.Steps,
+		"flops":     spec.Flops,
+		"transport": "tcp-loopback",
+	}
+	tcpRec.Metrics = map[string]float64{
+		"comm.reconnects":  float64(reconnects),
+		"comm.rank_deaths": 0,
+	}
+	if *flagJSON {
+		if err := bench.WriteRecord(os.Stdout, tcpRec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("%-12s %2d ranks x%d  %8d tasks  %12.0f tasks/s  %9.0f ns/task  (loopback TCP)\n",
+			"TTG dist tcp", ranks, wpr, tcpRec.Tasks, tcpRec.TasksPerSec, tcpRec.PerTaskNs)
+	}
 }
 
 // cmdValidate reads BENCH record streams from the given files ("-" or no

@@ -264,9 +264,12 @@ func (p *Proc) dispatchBatch(m message) {
 	// Perfect wire: this was the frame's only delivery and the handler is
 	// done with it — recycle the slab into the sender's pool. (Reliable
 	// wire: the sender recycles on ack instead; duplicates may still be in
-	// flight here.)
+	// flight here. Network worlds are always reliable, and the "slab" there
+	// is the transport's decode buffer, not a pool slab.)
 	if m.slab && !p.world.reliable {
-		p.world.procs[m.src].slabPut(pl)
+		if sp := p.world.procs[m.src]; sp != nil {
+			sp.slabPut(pl)
+		}
 	}
 }
 

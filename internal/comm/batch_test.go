@@ -154,12 +154,12 @@ func TestMalformedBatchFrameAborts(t *testing.T) {
 func FuzzBatchFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 0, 0, 0})
-	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0, 42, 43})          // well-formed
-	f.Add([]byte{2, 0, 0, 0, 2, 0, 0, 0, 42, 43})          // count too high
-	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})      // negative count
-	f.Add([]byte{1, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f, 1})   // entry len overruns
-	f.Add([]byte{1, 0, 0, 0, 0xfe, 0xff, 0xff, 0xff, 9})   // negative entry len
-	f.Add([]byte{1, 0, 0, 0, 1, 0, 0, 0, 9, 9, 9})         // trailing bytes
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0, 42, 43})        // well-formed
+	f.Add([]byte{2, 0, 0, 0, 2, 0, 0, 0, 42, 43})        // count too high
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})    // negative count
+	f.Add([]byte{1, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f, 1}) // entry len overruns
+	f.Add([]byte{1, 0, 0, 0, 0xfe, 0xff, 0xff, 0xff, 9}) // negative entry len
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 0, 0, 9, 9, 9})       // trailing bytes
 	f.Fuzz(func(t *testing.T, data []byte) {
 		w := NewWorld(2)
 		p := w.Proc(1)

@@ -119,6 +119,15 @@ type World struct {
 	// mailboxes of stopped ranks.
 	closed atomic.Bool
 
+	// Network-transport state (see transport.go). net is non-nil for worlds
+	// built with NewNetWorld: only procs[self] is materialized locally and
+	// every cross-rank transmission is encoded onto the transport. peerHook
+	// observes transport connection lifecycle events.
+	net        Transport
+	self       int
+	peerHookMu sync.Mutex
+	peerHook   func(PeerEvent)
+
 	// timers tracks the delayed-delivery timers armed by Delay/Reorder
 	// faults so Shutdown can stop any still pending; without this they
 	// outlive the world and fire into dead mailboxes.
@@ -137,19 +146,24 @@ func NewWorld(n int) *World {
 	}
 	w := &World{procs: make([]*Proc, n), rto: 2 * time.Millisecond}
 	for i := range w.procs {
-		w.procs[i] = &Proc{
-			rank:       i,
-			world:      w,
-			mbox:       newMailbox(),
-			handlers:   map[int]Handler{},
-			qNotify:    make(chan struct{}, 1),
-			quit:       make(chan struct{}),
-			stopped:    make(chan struct{}),
-			batchTag:   -1,
-			batchLimit: DefaultBatchBytes,
-		}
+		w.procs[i] = newProc(w, i)
 	}
 	return w
+}
+
+// newProc builds one rank endpoint (not yet started).
+func newProc(w *World, rank int) *Proc {
+	return &Proc{
+		rank:       rank,
+		world:      w,
+		mbox:       newMailbox(),
+		handlers:   map[int]Handler{},
+		qNotify:    make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+		stopped:    make(chan struct{}),
+		batchTag:   -1,
+		batchLimit: DefaultBatchBytes,
+	}
 }
 
 // Size returns the number of ranks.
@@ -165,15 +179,23 @@ func (w *World) Proc(r int) *Proc { return w.procs[r] }
 // Idempotent, and safe even when some ranks were never started (their
 // progress goroutine does not exist, so there is nothing to join).
 func (w *World) Shutdown() {
-	// Drain any batch buffers still holding activations before the wire
-	// goes down (after clean termination they are empty; this is hygiene
-	// for aborted or harness-driven runs).
-	if !w.closed.Load() {
+	// Close the wire FIRST (atomically snapshotting whether we are the call
+	// that closed it), then drain the batch buffers. The old order — check
+	// closed, drain, then store — left a window in which a concurrent sender
+	// could re-arm a flush between the drain loop and the close and post a
+	// frame into a half-closed wire whose progress goroutines were already
+	// being torn down. With closed set up front, the drain below (and any
+	// racing flush-on-size) still empties the buffers and counts the flush,
+	// but the wire discards the transmission. After clean termination the
+	// buffers are empty anyway; this is hygiene for aborted or
+	// harness-driven runs.
+	if !w.closed.Swap(true) {
 		for _, p := range w.procs {
-			p.FlushBatches(FlushShutdown)
+			if p != nil {
+				p.FlushBatches(FlushShutdown)
+			}
 		}
 	}
-	w.closed.Store(true)
 	w.timerMu.Lock()
 	for t := range w.timers {
 		t.Stop()
@@ -181,10 +203,16 @@ func (w *World) Shutdown() {
 	w.timers = nil
 	w.timerMu.Unlock()
 	for _, p := range w.procs {
+		if p == nil {
+			continue // network world: remote ranks live in other processes
+		}
 		p.stopOnce.Do(func() { close(p.quit) })
 		if p.launched.Load() {
 			<-p.stopped
 		}
+	}
+	if w.net != nil {
+		w.net.Close()
 	}
 }
 
@@ -212,9 +240,9 @@ type Proc struct {
 	onTerminate func()
 	onError     func(err error)
 	onAbort     func(src int, reason string)
-	onRankDead  func(dead, epoch int)   // progress goroutine, after membership update
-	onKilled    func()                  // any goroutine, when this rank is fail-stopped
-	onPrune     func(src int, n int64)  // progress goroutine: src dispatched n of our app sends
+	onRankDead  func(dead, epoch int)  // progress goroutine, after membership update
+	onKilled    func()                 // any goroutine, when this rank is fail-stopped
+	onPrune     func(src int, n int64) // progress goroutine: src dispatched n of our app sends
 
 	// Link-layer state. sendLinks is indexed by destination and guarded by
 	// its per-link mutex (Send may be called from any goroutine); recvLinks
@@ -240,6 +268,7 @@ type Proc struct {
 	terminated   bool
 	lastActivity time.Time
 	stalled      bool
+	fenced       bool  // this rank learned the membership declared it dead
 	dropped      int64 // unknown-tag messages dropped (diagnostics)
 
 	// Failure-detection state. epoch is atomic so applications can read it
@@ -543,8 +572,13 @@ func (p *Proc) sendAck(dst int, seq int64) {
 // handleAck releases every pending send up to the cumulative ack point. The
 // stall latch only clears when the ack made progress — empty prefix re-acks
 // stream in constantly on a dead link and must not reset it.
+//
+// Each released send that was never retransmitted contributes an RTT sample
+// to the link's adaptive retransmission timeout (Karn's algorithm: a
+// retransmitted message's ack is ambiguous and must not be sampled).
 func (p *Proc) handleAck(src int, upto int64) {
-	p.lastActivity = time.Now()
+	now := time.Now()
+	p.lastActivity = now
 	l := &p.sendLinks[src]
 	released := false
 	l.mu.Lock()
@@ -552,6 +586,9 @@ func (p *Proc) handleAck(src int, upto int64) {
 		if seq <= upto {
 			delete(l.unacked, seq)
 			released = true
+			if ps.tries == 0 {
+				l.observeRTT(now.Sub(ps.born))
+			}
 			if ps.msg.slab {
 				// Acked ⇒ the receiver dispatched the frame (acks follow
 				// dispatch); any duplicate still in flight is dropped by
@@ -567,10 +604,12 @@ func (p *Proc) handleAck(src int, upto int64) {
 	}
 }
 
-// retransmit resends every unacked message older than the world's RTO.
+// retransmit resends every unacked message older than the link's adaptive
+// RTO (SRTT + 4·RTTVAR from observed ack latencies, floored at the world's
+// configured timeout — see sendLink.rto).
 func (p *Proc) retransmit() {
 	now := time.Now()
-	rto := p.world.rto
+	floor := p.world.rto
 	for dst := range p.sendLinks {
 		if dst == p.rank {
 			continue
@@ -578,6 +617,7 @@ func (p *Proc) retransmit() {
 		l := &p.sendLinks[dst]
 		var resend []message
 		l.mu.Lock()
+		rto := l.rto(floor)
 		for _, ps := range l.unacked {
 			if now.Sub(ps.last) >= rto {
 				ps.last = now
@@ -627,6 +667,14 @@ func (p *Proc) dispatch(m message) bool {
 		// set gossiped in a converges membership if a rankDead was missed.
 		p.applyGossip(m.a)
 	case tagRankDead:
+		if int(m.a) == p.rank {
+			// The membership declared *us* dead (we were unreachable past the
+			// suspicion budget, e.g. the wrong side of a long partition).
+			// The survivors have already re-homed our keys; gracefully
+			// degrade to the fail-stop path instead of fighting them.
+			p.selfFence()
+			return false
+		}
 		p.applyRankDead(int(m.a))
 	case tagPrune:
 		if p.onPrune != nil {

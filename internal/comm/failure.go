@@ -71,6 +71,9 @@ func (w *World) KillRank(r int) {
 	if w.fd == nil {
 		panic("comm: KillRank requires EnableFailureDetection")
 	}
+	if w.net != nil {
+		panic("comm: KillRank is in-process only; fail-stop a network rank by killing its OS process")
+	}
 	if w.deadWire[r].Swap(true) {
 		return // already dead
 	}
@@ -127,6 +130,14 @@ func (p *Proc) fdTick(now time.Time) {
 			p.world.transmit(dst, message{src: p.rank, tag: tagHeartbeat, a: mask})
 		}
 	}
+	// After global termination the run is semantically complete: peers that
+	// finished and tore their wire down are not failures, and declaring
+	// them dead would only generate noise (and spurious recovery) while
+	// this rank drains its last acks. Keep emitting heartbeats (peers may
+	// still be draining and must not suspect US) but stop suspecting.
+	if p.terminated {
+		return
+	}
 	anySuspect := false
 	for q := range p.world.procs {
 		p.suspected[q] = q != p.rank && !p.deadView[q] &&
@@ -175,10 +186,37 @@ func (p *Proc) applyGossip(mask int64) {
 	if mask == 0 || p.deadView == nil {
 		return
 	}
+	if mask&(1<<uint(p.rank)) != 0 {
+		// A peer's dead set includes US: the membership moved on without this
+		// rank (we were partitioned past the suspicion budget and later came
+		// back). Our keys are already re-homed and our traffic is being
+		// dropped; degrade to the fail-stop path instead of running split.
+		p.selfFence()
+		return
+	}
 	for q := range p.deadView {
 		if mask&(1<<uint(q)) != 0 && !p.deadView[q] && q != p.rank {
 			p.applyRankDead(q)
 		}
+	}
+}
+
+// selfFence escalates this rank into the fail-stop path after learning that
+// the surviving membership has confirmed it dead: its wire goes silent
+// (network mode) and the kill hook runs so the local runtime aborts and
+// drains exactly as if the rank had been fail-stopped directly. Runs on the
+// progress goroutine; idempotent.
+func (p *Proc) selfFence() {
+	if p.fenced {
+		return
+	}
+	p.fenced = true
+	w := p.world
+	if w.net != nil && w.deadWire != nil {
+		w.deadWire[p.rank].Store(true)
+	}
+	if f := p.onKilled; f != nil {
+		f()
 	}
 }
 
@@ -194,6 +232,17 @@ func (p *Proc) applyRankDead(dead int) {
 	p.deadView[dead] = true
 	epoch := int64(bits.OnesCount64(uint64(p.deadMask())))
 	p.epoch.Store(epoch)
+	if w := p.world; w.net != nil {
+		// Over a real network the confirmed death must also silence the local
+		// wire toward the corpse (retransmissions, heartbeats) and stop the
+		// transport's reconnect loop from pursuing its address.
+		if w.deadWire != nil {
+			w.deadWire[dead].Store(true)
+		}
+		if pm, ok := w.net.(PeerMarker); ok {
+			pm.MarkDead(dead)
+		}
+	}
 	// Drop retransmit state toward the dead rank (nobody will ever ack it)
 	// and reset the inbound link so stray state cannot leak.
 	if p.sendLinks != nil {

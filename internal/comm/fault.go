@@ -25,6 +25,54 @@ type sendLink struct {
 	mu      sync.Mutex
 	nextSeq int64
 	unacked map[int64]*pendingSend
+
+	// Adaptive retransmission timeout (Jacobson/Karels, RFC 6298 shape):
+	// smoothed RTT and variance in nanoseconds, fed by ack latencies of
+	// never-retransmitted sends (Karn). Zero until the first sample. Guarded
+	// by mu.
+	srtt   int64
+	rttvar int64
+}
+
+// maxLinkRTO caps the adaptive retransmission timeout so a burst of delayed
+// acks cannot park a link for good.
+const maxLinkRTO = time.Second
+
+// observeRTT folds one ack-latency sample into the link's RTT estimate.
+// Caller holds l.mu.
+func (l *sendLink) observeRTT(sample time.Duration) {
+	s := int64(sample)
+	if s <= 0 {
+		return
+	}
+	if l.srtt == 0 {
+		l.srtt = s
+		l.rttvar = s / 2
+		return
+	}
+	d := l.srtt - s
+	if d < 0 {
+		d = -d
+	}
+	l.rttvar += (d - l.rttvar) / 4
+	l.srtt += (s - l.srtt) / 8
+}
+
+// rto returns the link's current retransmission timeout: SRTT + 4·RTTVAR,
+// floored at the world's configured timeout (so a fast wire keeps today's
+// behavior exactly) and capped at maxLinkRTO. Caller holds l.mu.
+func (l *sendLink) rto(floor time.Duration) time.Duration {
+	if l.srtt == 0 {
+		return floor
+	}
+	rto := time.Duration(l.srtt + 4*l.rttvar)
+	if rto < floor {
+		return floor
+	}
+	if rto > maxLinkRTO {
+		return maxLinkRTO
+	}
+	return rto
 }
 
 type pendingSend struct {
@@ -47,6 +95,9 @@ func (w *World) SetFaultPlan(fp FaultPlan) {
 	if w.started.Load() {
 		panic("comm: SetFaultPlan after Start")
 	}
+	if w.net != nil {
+		panic("comm: SetFaultPlan applies to in-process worlds; inject socket faults in the transport instead")
+	}
 	if fp.Seed == 0 {
 		fp.Seed = 1
 	}
@@ -66,6 +117,9 @@ func (w *World) SetFaultPlan(fp FaultPlan) {
 func (w *World) SetDropFilter(f func(src, dst, tag int) bool) {
 	if w.started.Load() {
 		panic("comm: SetDropFilter after Start")
+	}
+	if w.net != nil {
+		panic("comm: SetDropFilter applies to in-process worlds; inject socket faults in the transport instead")
 	}
 	w.dropF = f
 	w.reliable = true
@@ -122,6 +176,10 @@ func (w *World) roll() float64 { return float64(w.rng()>>11) / (1 << 53) }
 // delivery — immediate or delayed — can land in a stopped rank's mailbox.
 func (w *World) transmit(dst int, m message) {
 	if w.closed.Load() {
+		return
+	}
+	if w.net != nil {
+		w.netTransmit(dst, m)
 		return
 	}
 	// A fail-stopped rank's wire is silent in both directions: nothing it
@@ -203,6 +261,19 @@ func (w *World) deliverLater(box *mailbox, m message, delay time.Duration) {
 	})
 	w.timers[t] = struct{}{}
 	w.timerMu.Unlock()
+}
+
+// LinkRTO reports the current (adaptive) retransmission timeout of this
+// rank's link toward dst — the configured floor until the link has observed
+// ack latencies. Safe from any goroutine.
+func (p *Proc) LinkRTO(dst int) time.Duration {
+	if p.sendLinks == nil {
+		return p.world.rto
+	}
+	l := &p.sendLinks[dst]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rto(p.world.rto)
 }
 
 // checkStall runs on the progress goroutine's retransmit tick. A stall is a

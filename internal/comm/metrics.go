@@ -47,25 +47,33 @@ func (w *World) EnableMetrics() *metrics.Registry {
 	}
 	reg := metrics.NewRegistry(len(w.procs))
 	w.mx = &commMetrics{
-		reg:          reg,
-		sent:         reg.Counter("comm.msgs.sent"),
-		recvd:        reg.Counter("comm.msgs.recvd"),
-		bytesSent:    reg.Counter("comm.bytes.sent"),
-		bytesRecvd:   reg.Counter("comm.bytes.recvd"),
-		ctrl:         reg.Counter("comm.ctrl.sent"),
-		acks:         reg.Counter("comm.acks.sent"),
-		retrans:      reg.Counter("comm.retransmits"),
-		batchSize:    reg.Histogram("comm.batch_size"),
-		flushSize:    reg.Counter("comm.flushes.size"),
-		flushIdle:    reg.Counter("comm.flushes.idle"),
+		reg:           reg,
+		sent:          reg.Counter("comm.msgs.sent"),
+		recvd:         reg.Counter("comm.msgs.recvd"),
+		bytesSent:     reg.Counter("comm.bytes.sent"),
+		bytesRecvd:    reg.Counter("comm.bytes.recvd"),
+		ctrl:          reg.Counter("comm.ctrl.sent"),
+		acks:          reg.Counter("comm.acks.sent"),
+		retrans:       reg.Counter("comm.retransmits"),
+		batchSize:     reg.Histogram("comm.batch_size"),
+		flushSize:     reg.Counter("comm.flushes.size"),
+		flushIdle:     reg.Counter("comm.flushes.idle"),
 		flushShutdown: reg.Counter("comm.flushes.shutdown"),
-		faultDrop:    reg.Counter("comm.fault.dropped"),
-		faultDup:     reg.Counter("comm.fault.duplicated"),
-		faultDelay:   reg.Counter("comm.fault.delayed"),
-		faultReorder: reg.Counter("comm.fault.reordered"),
+		faultDrop:     reg.Counter("comm.fault.dropped"),
+		faultDup:      reg.Counter("comm.fault.duplicated"),
+		faultDelay:    reg.Counter("comm.fault.delayed"),
+		faultReorder:  reg.Counter("comm.fault.reordered"),
 	}
-	reg.Func("comm.rounds", func() int64 { return w.procs[0].rounds.Load() })
+	reg.Func("comm.rounds", func() int64 {
+		// In a network world only the local rank exists; rounds are a
+		// root-rank statistic, so non-root processes report 0.
+		if p := w.procs[0]; p != nil {
+			return p.rounds.Load()
+		}
+		return 0
+	})
 	reg.Func("comm.rank_deaths", w.Deaths)
+	reg.Func("comm.reconnects", w.Reconnects)
 	reg.Func("termdet.wave_restarts", w.WaveRestarts)
 	return reg
 }
@@ -184,6 +192,9 @@ func (m *commMetrics) flushCounter(r FlushReason) *metrics.Counter {
 func (w *World) ChromeEvents() []metrics.ChromeEvent {
 	var out []metrics.ChromeEvent
 	for _, p := range w.procs {
+		if p == nil {
+			continue // network world: remote ranks trace in their own process
+		}
 		out = append(out, p.ChromeEvents()...)
 	}
 	if mx := w.mx; mx != nil && len(out) > 0 {

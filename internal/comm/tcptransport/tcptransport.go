@@ -1,0 +1,630 @@
+// Package tcptransport implements comm.Transport over real TCP sockets, so
+// each rank of a world can be a separate OS process (on the same host over
+// loopback, or on separate machines).
+//
+// Connection topology: every rank listens on its own address and maintains
+// one simplex outbound connection per peer, used only for that direction's
+// traffic (rank i dials rank j for i→j frames, and accepts j's connection
+// for j→i frames). A connection opens with a 9-byte handshake
+// [4B magic][1B version][4B src rank]; after that the stream is a sequence
+// of length-prefixed frames [4B len][frame bytes].
+//
+// Robustness: dials use capped exponential backoff with seeded jitter;
+// writes and reads carry deadlines; a failed connection is torn down and
+// transparently re-dialed, with the frames lost in between recovered by the
+// comm reliable link layer (whose per-link sequence state survives the
+// reconnect — delivery resumes exactly-once and in order). A peer the
+// failure detector confirms dead is marked via MarkDead, which stops the
+// reconnect loop. For fault-tolerance testing, a seeded socket-level fault
+// injector (FaultConfig) tears connections down, writes torn frames,
+// partitions peers for a window, and slows reads — all without touching the
+// protocol layers above.
+package tcptransport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gottg/internal/comm"
+)
+
+const (
+	handshakeMagic   = 0x67545447 // "GTTG"
+	handshakeVersion = 1
+	handshakeLen     = 9
+
+	// maxFrameLen bounds one frame so a corrupted or hostile length prefix
+	// cannot make the reader allocate unboundedly.
+	maxFrameLen = 64 << 20
+)
+
+// Errors returned by Send. Both are best-effort conditions: the reliable
+// link layer above retransmits, so callers may ignore them.
+var (
+	ErrClosed       = errors.New("tcptransport: transport closed")
+	ErrPeerDead     = errors.New("tcptransport: peer marked dead")
+	ErrBackpressure = errors.New("tcptransport: outbox full, frame dropped")
+)
+
+// Config parameterizes a transport. Self and Peers are required; everything
+// else has defaults.
+type Config struct {
+	// Self is the local rank; Peers[Self] is this process's listen address.
+	Self int
+	// Peers maps rank -> "host:port".
+	Peers []string
+	// Listener optionally supplies a pre-bound listener for Peers[Self]
+	// (tests bind :0 first to learn the port); when nil, New binds it.
+	Listener net.Listener
+
+	// DialTimeout bounds one dial attempt. Default 2s.
+	DialTimeout time.Duration
+	// BackoffBase is the first re-dial delay after a failure; it doubles per
+	// consecutive failure up to BackoffMax, plus seeded jitter of up to half
+	// the current backoff. Defaults 5ms / 1s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// WriteTimeout is the per-frame write deadline: a peer that stops
+	// draining its socket fails the write and triggers a reconnect instead
+	// of wedging the sender forever. Default 10s.
+	WriteTimeout time.Duration
+	// ReadTimeout, when positive, is the per-read deadline on inbound
+	// connections. Leave zero for workloads with legitimately idle links;
+	// with heartbeat failure detection on, a few seconds is safe and bounds
+	// how long a half-open connection can linger. Default 0 (none).
+	ReadTimeout time.Duration
+	// OutboxLen bounds the per-peer send queue; a full outbox drops the
+	// frame (the link layer retransmits). Default 4096.
+	OutboxLen int
+
+	// Fault optionally injects seeded socket-level faults (see fault.go).
+	Fault *FaultConfig
+
+	// Logf, when set, receives debug-level connection lifecycle logging.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) normalize() error {
+	if c.Self < 0 || c.Self >= len(c.Peers) {
+		return fmt.Errorf("tcptransport: self rank %d out of range for %d peers", c.Self, len(c.Peers))
+	}
+	if len(c.Peers) < 1 {
+		return errors.New("tcptransport: no peers")
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 5 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.OutboxLen <= 0 {
+		c.OutboxLen = 4096
+	}
+	return nil
+}
+
+// Transport is a TCP-backed comm.Transport. Create with New, pass to
+// comm.NewNetWorld (which calls Start), Close via comm.World.Shutdown.
+type Transport struct {
+	cfg     Config
+	ln      net.Listener
+	inj     *injector
+	jitter  *rng
+	peers   []*peer // outbound connections, indexed by rank; nil at Self
+	deliver func([]byte)
+	events  func(comm.PeerEvent)
+
+	closed   atomic.Bool
+	wg       sync.WaitGroup // accept + read loops
+	writerWg sync.WaitGroup // per-peer writers (joined first in Close)
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{} // accepted inbound conns, for Close
+
+	reconnects atomic.Int64
+	dials      atomic.Int64
+	accepted   atomic.Int64
+	sent       atomic.Int64
+	dropped    atomic.Int64
+	delivered  atomic.Int64
+}
+
+var _ comm.Transport = (*Transport)(nil)
+var _ comm.TransportStats = (*Transport)(nil)
+var _ comm.PeerMarker = (*Transport)(nil)
+
+// New binds the local listener and prepares (but does not start) the
+// transport.
+func New(cfg Config) (*Transport, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	t := &Transport{
+		cfg:   cfg,
+		ln:    cfg.Listener,
+		conns: map[net.Conn]struct{}{},
+		peers: make([]*peer, len(cfg.Peers)),
+	}
+	if cfg.Fault != nil {
+		t.inj = newInjector(*cfg.Fault)
+	}
+	// Backoff jitter is seeded per rank so multi-process runs are
+	// reproducible yet ranks don't thunder in lockstep.
+	seed := uint64(cfg.Self)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+	if cfg.Fault != nil && cfg.Fault.Seed != 0 {
+		seed ^= cfg.Fault.Seed
+	}
+	t.jitter = newRng(seed)
+	if t.ln == nil {
+		ln, err := net.Listen("tcp", cfg.Peers[cfg.Self])
+		if err != nil {
+			return nil, fmt.Errorf("tcptransport: listen %s: %w", cfg.Peers[cfg.Self], err)
+		}
+		t.ln = ln
+	}
+	for r, addr := range cfg.Peers {
+		if r == cfg.Self {
+			continue
+		}
+		t.peers[r] = &peer{
+			t:      t,
+			rank:   r,
+			addr:   addr,
+			outbox: make(chan []byte, cfg.OutboxLen),
+			quit:   make(chan struct{}),
+		}
+	}
+	return t, nil
+}
+
+// Self returns the local rank.
+func (t *Transport) Self() int { return t.cfg.Self }
+
+// Size returns the world size.
+func (t *Transport) Size() int { return len(t.cfg.Peers) }
+
+// Addr returns the local listener's bound address.
+func (t *Transport) Addr() net.Addr { return t.ln.Addr() }
+
+// Start launches the accept loop and one writer goroutine per peer.
+func (t *Transport) Start(deliver func(frame []byte), events func(comm.PeerEvent)) error {
+	if deliver == nil {
+		return errors.New("tcptransport: nil deliver callback")
+	}
+	t.deliver = deliver
+	t.events = events
+	t.wg.Add(1)
+	go t.acceptLoop()
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		t.writerWg.Add(1)
+		go p.writeLoop()
+	}
+	return nil
+}
+
+// Send queues one frame for rank dst. Best-effort: a full outbox or a dead
+// or closed transport drops the frame (the link layer above retransmits).
+func (t *Transport) Send(dst int, frame []byte) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	if dst < 0 || dst >= len(t.peers) {
+		return fmt.Errorf("tcptransport: rank %d out of range", dst)
+	}
+	p := t.peers[dst]
+	if p == nil {
+		return errors.New("tcptransport: send to self")
+	}
+	if p.dead.Load() {
+		return ErrPeerDead
+	}
+	select {
+	case p.outbox <- frame:
+		return nil
+	default:
+		t.dropped.Add(1)
+		return ErrBackpressure
+	}
+}
+
+// MarkDead stops pursuing a peer: its writer drains and drops, its
+// connection closes, and no further dials happen.
+func (t *Transport) MarkDead(rank int) {
+	if rank < 0 || rank >= len(t.peers) {
+		return
+	}
+	p := t.peers[rank]
+	if p == nil || p.dead.Swap(true) {
+		return
+	}
+	p.closeConn(nil)
+	t.event(comm.PeerEvent{Peer: rank, Kind: comm.PeerGaveUp})
+}
+
+// Close tears down the listener, all connections, and all goroutines.
+// Writers first flush any frames still queued in their outboxes (briefly,
+// best-effort) before the connections come down: the last frames a rank
+// sends before exiting are typically the acks its peers need to drain, and
+// dropping them would leave peers retransmitting into the void until their
+// drain timeout. Idempotent.
+func (t *Transport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	t.ln.Close()
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.stopOnce.Do(func() { close(p.quit) })
+	}
+	t.writerWg.Wait() // writers flush residual frames, then exit
+	for _, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		p.closeConn(nil)
+	}
+	t.connMu.Lock()
+	for c := range t.conns {
+		c.Close()
+	}
+	t.conns = nil
+	t.connMu.Unlock()
+	t.wg.Wait()
+	return nil
+}
+
+// Reconnects counts outbound connections re-established after a loss.
+func (t *Transport) Reconnects() int64 { return t.reconnects.Load() }
+
+// Dials counts dial attempts (successful or not).
+func (t *Transport) Dials() int64 { return t.dials.Load() }
+
+// Delivered counts inbound frames handed to the deliver callback.
+func (t *Transport) Delivered() int64 { return t.delivered.Load() }
+
+// Dropped counts outbound frames dropped (outbox full, write failed, or
+// fault-injected).
+func (t *Transport) Dropped() int64 { return t.dropped.Load() }
+
+func (t *Transport) event(ev comm.PeerEvent) {
+	if f := t.events; f != nil {
+		f(ev)
+	}
+}
+
+func (t *Transport) logf(format string, args ...any) {
+	if f := t.cfg.Logf; f != nil {
+		f(format, args...)
+	}
+}
+
+// ---------------------------------------------------------------- outbound
+
+// peer is one outbound simplex connection with reconnect state. conn is
+// owned by the writer goroutine; closeConn may be called from other
+// goroutines (Close/MarkDead) to interrupt a blocked write.
+type peer struct {
+	t      *Transport
+	rank   int
+	addr   string
+	outbox chan []byte
+	quit   chan struct{}
+
+	stopOnce sync.Once
+	dead     atomic.Bool
+
+	mu   sync.Mutex
+	conn net.Conn
+
+	// writer-private reconnect state
+	everUp     bool
+	attempts   int
+	backoff    time.Duration
+	nextDialAt time.Time
+}
+
+func (p *peer) setConn(c net.Conn) {
+	p.mu.Lock()
+	p.conn = c
+	p.mu.Unlock()
+}
+
+func (p *peer) closeConn(c net.Conn) {
+	p.mu.Lock()
+	if c == nil || p.conn == c {
+		if p.conn != nil {
+			p.conn.Close()
+			p.conn = nil
+		}
+	}
+	p.mu.Unlock()
+}
+
+func (p *peer) current() net.Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn
+}
+
+// writeLoop drains the outbox onto the connection, dialing (with capped
+// exponential backoff + jitter) whenever there is no connection. It never
+// blocks on backoff: while disconnected and inside the backoff window,
+// frames are dropped fast, so retransmission traffic cannot pile up.
+func (p *peer) writeLoop() {
+	t := p.t
+	defer t.writerWg.Done()
+	var lenBuf [4]byte
+	for {
+		var frame []byte
+		select {
+		case <-p.quit:
+			p.flushResidual()
+			return
+		case frame = <-p.outbox:
+		}
+		if p.dead.Load() || t.closed.Load() {
+			continue // drain and drop
+		}
+		if t.inj != nil && t.inj.partitioned(p.rank) {
+			// Partition episode: this direction is black-holed. Kill any
+			// established connection so the episode also manifests as a
+			// connection-lifecycle fault, then drop.
+			if c := p.current(); c != nil {
+				p.closeConn(c)
+				t.event(comm.PeerEvent{Peer: p.rank, Kind: comm.PeerDown, Err: errInjectedPartition})
+			}
+			t.dropped.Add(1)
+			continue
+		}
+		c := p.ensureConn()
+		if c == nil {
+			t.dropped.Add(1)
+			continue
+		}
+		// Seeded write faults: tear the connection down, or write a torn
+		// (truncated) frame first so the receiver exercises its resync path.
+		if t.inj != nil {
+			switch t.inj.writeFault() {
+			case faultConnKill:
+				p.dropConn(c, errInjectedConnKill)
+				t.dropped.Add(1)
+				continue
+			case faultTornWrite:
+				binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+				c.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+				c.Write(lenBuf[:])
+				c.Write(frame[:len(frame)/2])
+				p.dropConn(c, errInjectedTornWrite)
+				t.dropped.Add(1)
+				continue
+			}
+		}
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+		c.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+		if _, err := c.Write(lenBuf[:]); err != nil {
+			p.dropConn(c, err)
+			t.dropped.Add(1)
+			continue
+		}
+		if _, err := c.Write(frame); err != nil {
+			p.dropConn(c, err)
+			t.dropped.Add(1)
+			continue
+		}
+		t.sent.Add(1)
+	}
+}
+
+// flushResidual best-effort-writes whatever is still queued in the outbox
+// onto the established connection before shutdown tears it down. Frames
+// queued here are typically the final acks peers need to drain their links;
+// the whole flush shares one short deadline so a wedged peer cannot stall
+// Close. No dialing: with no connection the residue is dropped.
+func (p *peer) flushResidual() {
+	c := p.current()
+	if c == nil || p.dead.Load() {
+		return
+	}
+	deadline := time.Now().Add(100 * time.Millisecond)
+	var lenBuf [4]byte
+	for {
+		select {
+		case frame := <-p.outbox:
+			c.SetWriteDeadline(deadline)
+			binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+			if _, err := c.Write(lenBuf[:]); err != nil {
+				return
+			}
+			if _, err := c.Write(frame); err != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// dropConn tears the current connection down after a write failure and
+// reports the lifecycle event.
+func (p *peer) dropConn(c net.Conn, err error) {
+	p.closeConn(c)
+	p.t.logf("tcptransport: rank %d -> %d: connection lost: %v", p.t.cfg.Self, p.rank, err)
+	p.t.event(comm.PeerEvent{Peer: p.rank, Kind: comm.PeerDown, Err: err})
+}
+
+// ensureConn returns the established connection, dialing if allowed. While
+// inside the backoff window it returns nil immediately (callers drop the
+// frame; the link layer retransmits after the window).
+func (p *peer) ensureConn() net.Conn {
+	if c := p.current(); c != nil {
+		return c
+	}
+	t := p.t
+	now := time.Now()
+	if now.Before(p.nextDialAt) {
+		return nil
+	}
+	t.dials.Add(1)
+	p.attempts++
+	c, err := net.DialTimeout("tcp", p.addr, t.cfg.DialTimeout)
+	if err == nil {
+		err = p.handshake(c)
+	}
+	if err != nil {
+		if c != nil {
+			c.Close()
+		}
+		// Capped exponential backoff with seeded jitter: double per
+		// consecutive failure, plus up to half the current backoff.
+		if p.backoff == 0 {
+			p.backoff = t.cfg.BackoffBase
+		} else {
+			p.backoff *= 2
+			if p.backoff > t.cfg.BackoffMax {
+				p.backoff = t.cfg.BackoffMax
+			}
+		}
+		wait := p.backoff
+		if t.jitter != nil {
+			wait += time.Duration(t.jitter.n(uint64(p.backoff) / 2))
+		}
+		p.nextDialAt = now.Add(wait)
+		t.logf("tcptransport: rank %d -> %d: dial %s failed (attempt %d, retry in %v): %v",
+			t.cfg.Self, p.rank, p.addr, p.attempts, wait, err)
+		t.event(comm.PeerEvent{Peer: p.rank, Kind: comm.PeerDialFailed, Attempt: p.attempts, Err: err})
+		return nil
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	p.setConn(c)
+	if p.everUp {
+		t.reconnects.Add(1)
+	}
+	t.event(comm.PeerEvent{Peer: p.rank, Kind: comm.PeerUp, Attempt: p.attempts})
+	t.logf("tcptransport: rank %d -> %d: connected to %s (attempt %d, reconnect=%v)",
+		t.cfg.Self, p.rank, p.addr, p.attempts, p.everUp)
+	p.everUp = true
+	p.attempts = 0
+	p.backoff = 0
+	p.nextDialAt = time.Time{}
+	return c
+}
+
+// handshake identifies the local rank to the accepting side.
+func (p *peer) handshake(c net.Conn) error {
+	var h [handshakeLen]byte
+	binary.LittleEndian.PutUint32(h[0:], handshakeMagic)
+	h[4] = handshakeVersion
+	binary.LittleEndian.PutUint32(h[5:], uint32(p.t.cfg.Self))
+	c.SetWriteDeadline(time.Now().Add(p.t.cfg.WriteTimeout))
+	_, err := c.Write(h[:])
+	return err
+}
+
+// ---------------------------------------------------------------- inbound
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			if t.closed.Load() {
+				return
+			}
+			// Transient accept failure (e.g. EMFILE): back off briefly.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		t.connMu.Lock()
+		if t.conns == nil { // lost the race with Close
+			t.connMu.Unlock()
+			c.Close()
+			return
+		}
+		t.conns[c] = struct{}{}
+		t.connMu.Unlock()
+		t.accepted.Add(1)
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+func (t *Transport) forget(c net.Conn) {
+	t.connMu.Lock()
+	if t.conns != nil {
+		delete(t.conns, c)
+	}
+	t.connMu.Unlock()
+	c.Close()
+}
+
+// readLoop consumes one inbound connection: handshake, then length-prefixed
+// frames handed to the deliver callback. Any framing violation or read
+// error tears the connection down; the peer re-dials and the link layer
+// recovers whatever was in flight.
+func (t *Transport) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer t.forget(c)
+	var r io.Reader = c
+	if t.inj != nil {
+		r = t.inj.slowReader(c)
+	}
+	var h [handshakeLen]byte
+	c.SetReadDeadline(time.Now().Add(t.cfg.DialTimeout + t.cfg.WriteTimeout))
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return
+	}
+	if binary.LittleEndian.Uint32(h[0:]) != handshakeMagic || h[4] != handshakeVersion {
+		t.logf("tcptransport: rank %d: rejecting connection from %s: bad handshake", t.cfg.Self, c.RemoteAddr())
+		return
+	}
+	src := int(int32(binary.LittleEndian.Uint32(h[5:])))
+	if src < 0 || src >= len(t.cfg.Peers) || src == t.cfg.Self {
+		t.logf("tcptransport: rank %d: rejecting connection claiming rank %d", t.cfg.Self, src)
+		return
+	}
+	t.logf("tcptransport: rank %d: accepted connection from rank %d (%s)", t.cfg.Self, src, c.RemoteAddr())
+	var lenBuf [4]byte
+	for {
+		if t.closed.Load() {
+			return
+		}
+		if rt := t.cfg.ReadTimeout; rt > 0 {
+			c.SetReadDeadline(time.Now().Add(rt))
+		} else {
+			c.SetReadDeadline(time.Time{})
+		}
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrameLen {
+			t.logf("tcptransport: rank %d: bad frame length %d from rank %d", t.cfg.Self, n, src)
+			return
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(r, frame); err != nil {
+			return // torn frame: the sender's retransmission re-carries it
+		}
+		t.delivered.Add(1)
+		t.deliver(frame)
+	}
+}

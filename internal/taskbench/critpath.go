@@ -44,6 +44,11 @@ func RunDistributedTTGTraced(s Spec, ranks, workersPerRank int) TracedDist {
 
 	lastVals := make([]float64, s.Width)
 	var lastMu sync.Mutex
+	record := func(p int, v float64) {
+		lastMu.Lock()
+		lastVals[p] = v
+		lastMu.Unlock()
+	}
 
 	graphs := make([]*core.Graph, ranks)
 	points := make([]*core.TT, ranks)
@@ -53,7 +58,7 @@ func RunDistributedTTGTraced(s Spec, ranks, workersPerRank int) TracedDist {
 		cfg.CountAtomics = true
 		graphs[r] = core.NewDistributed(cfg, world.Proc(r))
 		graphs[r].EnableCausalTracing()
-		points[r] = buildPointTT(graphs[r], s, mapper, lastVals, &lastMu)
+		points[r] = buildPointTT(graphs[r], s, mapper, record)
 	}
 	t0 := time.Now()
 	var wg sync.WaitGroup

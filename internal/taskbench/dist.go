@@ -65,9 +65,14 @@ func runDistributedTTG(s Spec, ranks, workersPerRank int, withStats bool) (Resul
 	// final reduction is order-deterministic.
 	lastVals := make([]float64, s.Width)
 	var lastMu sync.Mutex
+	record := func(p int, v float64) {
+		lastMu.Lock()
+		lastVals[p] = v
+		lastMu.Unlock()
+	}
 
 	build := func(g *core.Graph) *core.TT {
-		return buildPointTT(g, s, mapper, lastVals, &lastMu)
+		return buildPointTT(g, s, mapper, record)
 	}
 
 	graphs := make([]*core.Graph, ranks)

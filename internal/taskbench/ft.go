@@ -11,10 +11,12 @@ import (
 
 // buildPointTT wires the distributed Task-Bench Point TT into g: one task per
 // (timestep, point), aggregator input collecting the dependency values sorted
-// by origin, results of the last timestep written keyed by point into
-// lastVals (idempotent, so a re-executed task after a rank failure rewrites
-// the same value). Shared by the plain and the fault-tolerant runners.
-func buildPointTT(g *core.Graph, s Spec, mapper func(key uint64) int, lastVals []float64, lastMu *sync.Mutex) *core.TT {
+// by origin, results of the last timestep reported keyed by point through
+// record (an idempotent assignment, so a re-executed task after a rank
+// failure reports the same value). Shared by the plain, fault-tolerant, and
+// network runners — the network runner's record collects only the points the
+// local rank computed, which the launcher merges across processes.
+func buildPointTT(g *core.Graph, s Spec, mapper func(key uint64) int, record func(p int, v float64)) *core.TT {
 	ePoint := core.NewEdge("point")
 	point := g.NewTT("Point", 1, 1, func(tc core.TaskContext) {
 		t, p := core.Unpack2(tc.Key())
@@ -37,9 +39,7 @@ func buildPointTT(g *core.Graph, s Spec, mapper func(key uint64) int, lastVals [
 		}
 		v := s.Value(int(t), int(p), depVals)
 		if int(t) == s.Steps-1 {
-			lastMu.Lock()
-			lastVals[p] = v
-			lastMu.Unlock()
+			record(int(p), v)
 			return
 		}
 		for _, q := range s.RDeps(int(t), int(p)) {
@@ -125,6 +125,11 @@ func RunDistributedTTGFT(s Spec, o FTOptions) (Result, FTReport) {
 
 	lastVals := make([]float64, s.Width)
 	var lastMu sync.Mutex
+	record := func(p int, v float64) {
+		lastMu.Lock()
+		lastVals[p] = v
+		lastMu.Unlock()
+	}
 
 	graphs := make([]*core.Graph, ranks)
 	points := make([]*core.TT, ranks)
@@ -137,7 +142,7 @@ func RunDistributedTTGFT(s Spec, o FTOptions) (Result, FTReport) {
 		if o.Pruning {
 			graphs[r].EnableReplayPruning()
 		}
-		points[r] = buildPointTT(graphs[r], s, mapper, lastVals, &lastMu)
+		points[r] = buildPointTT(graphs[r], s, mapper, record)
 	}
 
 	stop := make(chan struct{})

@@ -1,0 +1,288 @@
+package taskbench
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"gottg/internal/comm"
+	"gottg/internal/comm/tcptransport"
+	"gottg/internal/core"
+	"gottg/internal/rt"
+)
+
+// The network runner: one OS process (or, in tests, one goroutine bundle)
+// per rank, a comm.Transport between them, and the same Task-Bench Point TT
+// as the in-process distributed runner. Each rank seeds the full SPMD
+// iteration space (owners keep), executes its block partition, and reports
+// the last-timestep values IT computed; the launcher merges the per-rank
+// reports into the global checksum and verifies it bit-identically against
+// Spec.Reference. Because task bodies are deterministic and the last-step
+// report is an idempotent keyed assignment, the merge is insensitive to rank
+// failures: re-executed tasks re-report identical values and the survivors'
+// reports cover a dead rank's re-homed points.
+
+// NetOptions parameterizes one rank of a network-backed Task-Bench run.
+type NetOptions struct {
+	// Workers is the runtime worker count for this rank.
+	Workers int
+	// Sched selects the runtime scheduler (zero value = default).
+	Sched rt.SchedKind
+
+	// FT enables fail-stop fault tolerance: failure detection on the world
+	// and recovery on the graph, so a peer process that dies mid-run is
+	// confirmed dead and its work re-homed.
+	FT bool
+	// Pruning enables replay-log pruning (only meaningful with FT).
+	Pruning bool
+	// Heartbeat and SuspectAfter tune failure detection (zero = defaults).
+	Heartbeat    time.Duration
+	SuspectAfter time.Duration
+
+	// RTO overrides the link retransmission floor (zero = 2ms default). The
+	// per-link adaptive estimator raises the effective timeout above this
+	// floor when measured ack latencies call for it.
+	RTO time.Duration
+
+	// DrainTimeout bounds the post-Wait drain: how long to wait for every
+	// sequenced send to be acked before tearing the transport down (so a
+	// peer that still needs a retransmission gets it). Default 5s.
+	DrainTimeout time.Duration
+
+	// KillAfterTasks, with KillFunc, fail-stops this rank after its runtime
+	// has executed that many tasks — the multi-process crash test's victim
+	// calls a self-SIGKILL here. Zero disables.
+	KillAfterTasks int64
+	KillFunc       func()
+}
+
+// NetRankResult is one rank's contribution to a network run, shaped for
+// JSON so child processes can report it over a pipe.
+type NetRankResult struct {
+	Rank      int   `json:"rank"`
+	Ranks     int   `json:"ranks"`
+	Tasks     int64 `json:"tasks"`      // tasks executed by this rank
+	ElapsedNs int64 `json:"elapsed_ns"` // this rank's Wait wall time
+
+	// Points maps point -> last-timestep value for every point this rank
+	// computed (JSON encodes the keys as strings).
+	Points map[int]float64 `json:"points"`
+
+	Reconnects   int64  `json:"reconnects"`
+	Deaths       int64  `json:"deaths"`
+	WaveRestarts int64  `json:"wave_restarts"`
+	Reexecuted   int64  `json:"reexecuted"`
+	Drained      bool   `json:"drained"`
+	Err          string `json:"err,omitempty"`
+}
+
+// RunDistributedTTGRank runs this process's rank of the Task-Bench spec
+// over tr. It returns an error only for setup failures; a runtime abort
+// (e.g. this rank was fail-stopped) is reported in NetRankResult.Err with
+// the partial results preserved.
+func RunDistributedTTGRank(s Spec, tr comm.Transport, o NetOptions) (NetRankResult, error) {
+	ranks := tr.Size()
+	self := tr.Self()
+	res := NetRankResult{Rank: self, Ranks: ranks, Points: map[int]float64{}}
+	if ranks > s.Width {
+		return res, fmt.Errorf("taskbench: %d ranks exceed width %d", ranks, s.Width)
+	}
+	world, err := comm.NewNetWorld(tr)
+	if err != nil {
+		return res, err
+	}
+	if o.FT {
+		world.EnableFailureDetection(comm.FDConfig{
+			Heartbeat:    o.Heartbeat,
+			SuspectAfter: o.SuspectAfter,
+		})
+	}
+	if o.RTO > 0 {
+		world.SetRetransmitTimeout(o.RTO)
+	}
+	mapper := func(key uint64) int {
+		_, p := core.Unpack2(key)
+		return int(p) * ranks / s.Width
+	}
+	var mu sync.Mutex
+	record := func(p int, v float64) {
+		mu.Lock()
+		res.Points[p] = v
+		mu.Unlock()
+	}
+
+	cfg := rt.OptimizedConfig(o.Workers)
+	cfg.PinWorkers = false
+	cfg.Sched = o.Sched
+	g := core.NewDistributed(cfg, world.Proc(self))
+	if o.FT {
+		g.EnableFaultTolerance()
+		if o.Pruning {
+			g.EnableReplayPruning()
+		}
+	}
+	point := buildPointTT(g, s, mapper, record)
+
+	stop := make(chan struct{})
+	defer close(stop)
+	if o.KillAfterTasks > 0 && o.KillFunc != nil {
+		victim := g.Runtime()
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(200 * time.Microsecond):
+				}
+				if exec, _, _ := victim.Stats(); exec >= o.KillAfterTasks {
+					o.KillFunc()
+					return
+				}
+			}
+		}()
+	}
+
+	t0 := time.Now()
+	g.MakeExecutable()
+	for p := 0; p < s.Width; p++ { // SPMD seeding; owners keep
+		g.Invoke(point, core.Pack2(0, uint32(p)), &pointVal{P: p})
+	}
+	waitErr := g.Wait()
+	res.ElapsedNs = int64(time.Since(t0))
+
+	drainTimeout := o.DrainTimeout
+	if drainTimeout <= 0 {
+		drainTimeout = 5 * time.Second
+	}
+	res.Drained = world.Drain(drainTimeout)
+
+	exec, _, _ := g.Runtime().Stats()
+	res.Tasks = exec
+	res.Reconnects = world.Reconnects()
+	res.Deaths = world.Deaths()
+	res.WaveRestarts = world.WaveRestarts()
+	res.Reexecuted, _, _ = g.RecoveryStats()
+	if waitErr != nil {
+		res.Err = waitErr.Error()
+	}
+	world.Shutdown()
+	return res, nil
+}
+
+// MergeNetResults combines per-rank reports into the run's Result, checking
+// that the surviving ranks' last-timestep reports cover every point exactly
+// and agree bit-identically wherever two ranks computed the same point
+// (which happens when a failed rank's tasks were re-executed elsewhere).
+func MergeNetResults(s Spec, rs []NetRankResult) (Result, error) {
+	merged := make([]float64, s.Width)
+	have := make([]bool, s.Width)
+	var elapsed time.Duration
+	for _, r := range rs {
+		if d := time.Duration(r.ElapsedNs); d > elapsed {
+			elapsed = d
+		}
+		for p, v := range r.Points {
+			if p < 0 || p >= s.Width {
+				return Result{}, fmt.Errorf("taskbench: rank %d reported out-of-range point %d", r.Rank, p)
+			}
+			if have[p] && math.Float64bits(merged[p]) != math.Float64bits(v) {
+				return Result{}, fmt.Errorf("taskbench: point %d reported twice with different values (%v vs %v)",
+					p, merged[p], v)
+			}
+			merged[p] = v
+			have[p] = true
+		}
+	}
+	checksum := 0.0
+	for p := 0; p < s.Width; p++ {
+		if !have[p] {
+			return Result{}, fmt.Errorf("taskbench: no rank reported point %d", p)
+		}
+		checksum += merged[p]
+	}
+	return Result{Elapsed: elapsed, Checksum: checksum, Tasks: s.TotalTasks()}, nil
+}
+
+// LoopbackAddrs binds n fresh loopback TCP listeners (so every rank knows
+// every port before any transport starts) and returns them with their
+// addresses. The caller passes each listener to tcptransport.New via
+// Config.Listener.
+func LoopbackAddrs(n int) ([]net.Listener, []string, error) {
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns[:i] {
+				l.Close()
+			}
+			return nil, nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	return lns, addrs, nil
+}
+
+// RunDistributedTTGTCP runs the spec with every rank a separate World over
+// real loopback TCP sockets inside this one process — the single-process
+// harness for the TCP wire path (benchmarks, chaos soaks); the multi-process
+// form lives in cmd/taskbench. fault, when non-nil, arms the socket-level
+// fault injector on every rank's transport (per-rank seeds derived from
+// fault.Seed). Returns the merged result (verified for coverage and
+// duplicate consistency, not against Reference — callers compare) plus the
+// per-rank reports.
+func RunDistributedTTGTCP(s Spec, ranks, workers int, fault *tcptransport.FaultConfig, o NetOptions) (Result, []NetRankResult, error) {
+	if ranks > s.Width {
+		ranks = s.Width
+	}
+	lns, addrs, err := LoopbackAddrs(ranks)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	o.Workers = workers
+	results := make([]NetRankResult, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		var fc *tcptransport.FaultConfig
+		if fault != nil {
+			c := *fault
+			c.Seed = fault.Seed + uint64(r)*0x9e3779b97f4a7c15
+			fc = &c
+		}
+		tr, terr := tcptransport.New(tcptransport.Config{
+			Self:     r,
+			Peers:    addrs,
+			Listener: lns[r],
+			Fault:    fc,
+		})
+		if terr != nil {
+			for _, ln := range lns {
+				ln.Close()
+			}
+			return Result{}, nil, terr
+		}
+		wg.Add(1)
+		go func(r int, tr *tcptransport.Transport) {
+			defer wg.Done()
+			results[r], errs[r] = RunDistributedTTGRank(s, tr, o)
+		}(r, tr)
+	}
+	wg.Wait()
+	for r, e := range errs {
+		if e != nil {
+			return Result{}, results, fmt.Errorf("rank %d: %w", r, e)
+		}
+		if results[r].Err != "" {
+			return Result{}, results, fmt.Errorf("rank %d aborted: %s", r, results[r].Err)
+		}
+	}
+	res, err := MergeNetResults(s, results)
+	if err != nil {
+		return Result{}, results, err
+	}
+	return res, results, nil
+}

@@ -1,0 +1,151 @@
+package taskbench
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gottg/internal/comm/tcptransport"
+)
+
+// requireBitIdentical fails unless the merged checksum matches the
+// sequential oracle bit for bit.
+func requireBitIdentical(t *testing.T, s Spec, res Result) {
+	t.Helper()
+	if want := s.Reference(); math.Float64bits(res.Checksum) != math.Float64bits(want) {
+		t.Fatalf("checksum %v (bits %x) != reference %v (bits %x)",
+			res.Checksum, math.Float64bits(res.Checksum), want, math.Float64bits(want))
+	}
+}
+
+func TestTCPLoopbackStencil(t *testing.T) {
+	s := Spec{Pattern: Stencil1D, Width: 16, Steps: 40, Flops: 500}
+	res, rrs, err := RunDistributedTTGTCP(s, 4, 2, nil, NetOptions{})
+	if err != nil {
+		t.Fatalf("RunDistributedTTGTCP: %v", err)
+	}
+	requireBitIdentical(t, s, res)
+	for _, r := range rrs {
+		if !r.Drained {
+			t.Fatalf("rank %d did not drain its links before shutdown", r.Rank)
+		}
+		if r.Reconnects != 0 {
+			t.Fatalf("rank %d reported %d reconnects on a fault-free wire", r.Rank, r.Reconnects)
+		}
+	}
+}
+
+func TestTCPLoopbackRandom(t *testing.T) {
+	s := Spec{Pattern: Random, Width: 12, Steps: 30, Flops: 500}
+	res, _, err := RunDistributedTTGTCP(s, 3, 2, nil, NetOptions{})
+	if err != nil {
+		t.Fatalf("RunDistributedTTGTCP: %v", err)
+	}
+	requireBitIdentical(t, s, res)
+}
+
+func TestTCPLoopbackSingleRank(t *testing.T) {
+	// Degenerate world: everything is a self-send; the transport idles.
+	s := Spec{Pattern: Stencil1D, Width: 8, Steps: 10, Flops: 100}
+	res, _, err := RunDistributedTTGTCP(s, 1, 2, nil, NetOptions{})
+	if err != nil {
+		t.Fatalf("RunDistributedTTGTCP: %v", err)
+	}
+	requireBitIdentical(t, s, res)
+}
+
+// TestTCPChaosSoak is the seeded socket-fault soak: connection kills, torn
+// writes, short partitions, and slow reads rain on the wire while two
+// patterns run over loopback TCP. The run must finish with a bit-identical
+// checksum, at least one reconnect observed (the faults actually bit), and
+// zero rank deaths (partitions stay far below the suspicion budget — the
+// transport layer absorbs everything).
+func TestTCPChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	fault := &tcptransport.FaultConfig{
+		Seed:          20260807,
+		ConnKillProb:  0.01,
+		TornWriteProb: 0.005,
+		PartitionProb: 0.002,
+		PartitionFor:  5 * time.Millisecond,
+		SlowReadProb:  0.01,
+		SlowReadMax:   300 * time.Microsecond,
+	}
+	for _, tc := range []struct {
+		name string
+		s    Spec
+	}{
+		{"stencil_1d", Spec{Pattern: Stencil1D, Width: 16, Steps: 60, Flops: 500}},
+		{"random", Spec{Pattern: Random, Width: 12, Steps: 40, Flops: 500}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, rrs, err := RunDistributedTTGTCP(tc.s, 4, 2, fault, NetOptions{
+				// FT on: the failure detector must coexist with socket chaos
+				// without false-positive deaths.
+				FT:           true,
+				SuspectAfter: 2 * time.Second,
+			})
+			if err != nil {
+				t.Fatalf("chaos run: %v", err)
+			}
+			requireBitIdentical(t, tc.s, res)
+			var reconnects, deaths int64
+			for _, r := range rrs {
+				reconnects += r.Reconnects
+				deaths += r.Deaths
+			}
+			if reconnects == 0 {
+				t.Fatalf("chaos soak saw zero reconnects; the fault injector never bit")
+			}
+			if deaths != 0 {
+				t.Fatalf("chaos soak produced %d false-positive rank deaths", deaths)
+			}
+			t.Logf("%s: %d reconnects absorbed, checksum bit-identical", tc.name, reconnects)
+		})
+	}
+}
+
+func TestMergeNetResults(t *testing.T) {
+	s := Spec{Pattern: Stencil1D, Width: 4, Steps: 2, Flops: 10}
+	ok := []NetRankResult{
+		{Rank: 0, Points: map[int]float64{0: 1, 1: 2}},
+		{Rank: 1, Points: map[int]float64{2: 3, 3: 4, 1: 2}}, // duplicate, same bits
+	}
+	res, err := MergeNetResults(s, ok)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if res.Checksum != 10 {
+		t.Fatalf("checksum %v, want 10", res.Checksum)
+	}
+
+	if _, err := MergeNetResults(s, []NetRankResult{
+		{Rank: 0, Points: map[int]float64{0: 1, 1: 2}},
+		{Rank: 1, Points: map[int]float64{2: 3}}, // point 3 missing
+	}); err == nil {
+		t.Fatalf("missing point not detected")
+	}
+
+	if _, err := MergeNetResults(s, []NetRankResult{
+		{Rank: 0, Points: map[int]float64{0: 1, 1: 2}},
+		{Rank: 1, Points: map[int]float64{1: 2.5, 2: 3, 3: 4}}, // conflicting duplicate
+	}); err == nil {
+		t.Fatalf("conflicting duplicate not detected")
+	}
+
+	if _, err := MergeNetResults(s, []NetRankResult{
+		{Rank: 0, Points: map[int]float64{0: 1, 1: 2, 2: 3, 3: 4, 9: 0}},
+	}); err == nil {
+		t.Fatalf("out-of-range point not detected")
+	}
+}
+
+func TestNetRankRejectsTooManyRanks(t *testing.T) {
+	s := Spec{Pattern: Stencil1D, Width: 2, Steps: 2, Flops: 10}
+	if _, _, err := RunDistributedTTGTCP(s, 8, 1, nil, NetOptions{}); err != nil {
+		// ranks clamp to width, so this must actually succeed.
+		t.Fatalf("rank clamp failed: %v", err)
+	}
+}
