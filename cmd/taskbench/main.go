@@ -37,6 +37,10 @@ var (
 	flagKillRank  = flag.Int("kill-rank", -1, "fail-stop this rank mid-run (requires -ranks; enables fault tolerance)")
 	flagKillAfter = flag.Int64("kill-after", 8, "kill the victim after it has executed this many tasks")
 	flagPrune     = flag.Bool("prune", true, "prune replay logs as downstream ranks quiesce (with -kill-rank)")
+
+	flagSteal   = flag.Bool("steal", false, "enable inter-rank work stealing (requires -ranks; two-phase with -kill-rank/-net FT)")
+	flagSkew    = flag.Float64("skew", 0, "tilt kernel cost linearly across points: point p costs (1 + skew*p/(width-1)) x flops")
+	flagSleepNs = flag.Int64("sleep-ns", 0, "add a skew-scaled blocking sleep of this many ns to each task (task-bench sleep kernel)")
 )
 
 // emitRecord prints one BENCH JSON record for a finished run.
@@ -48,6 +52,15 @@ func emitRecord(name string, workers, ranks int, res taskbench.Result, spec task
 		"width":   spec.Width,
 		"steps":   spec.Steps,
 		"flops":   spec.Flops,
+	}
+	if spec.Skew > 0 {
+		rec.Config["skew"] = spec.Skew
+	}
+	if spec.SleepNs > 0 {
+		rec.Config["sleep_ns"] = spec.SleepNs
+	}
+	if *flagSteal {
+		rec.Config["steal"] = true
 	}
 	rec.Metrics = mx
 	if err := bench.WriteRecord(os.Stdout, rec); err != nil {
@@ -70,7 +83,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	spec := taskbench.Spec{Pattern: pat, Width: *flagWidth, Steps: *flagSteps, Flops: *flagFlops}
+	spec := taskbench.Spec{Pattern: pat, Width: *flagWidth, Steps: *flagSteps, Flops: *flagFlops, Skew: *flagSkew, SleepNs: *flagSleepNs}
 	var want float64
 	if *flagVerify {
 		want = spec.Reference()
@@ -94,19 +107,28 @@ func main() {
 			KillRank:       *flagKillRank,
 			KillAfterTasks: *flagKillAfter,
 			Pruning:        *flagPrune,
+			Steal:          *flagSteal,
 		})
 		if *flagVerify && res.Checksum != want {
 			fmt.Fprintf(os.Stderr, "CHECKSUM MISMATCH (got %v want %v)\n", res.Checksum, want)
 			os.Exit(1)
 		}
 		if *flagJSON {
-			emitRecord("TTG distributed FT", *flagThreads, *flagRanks, res, spec, map[string]float64{
+			mx := map[string]float64{
 				"comm.rank_deaths":      float64(rep.Deaths),
 				"termdet.wave_restarts": float64(rep.WaveRestarts),
 				"core.tasks_reexecuted": float64(rep.Reexecuted),
 				"core.keys_remapped":    float64(rep.Remapped),
 				"core.replays_pruned":   float64(rep.Pruned),
-			})
+			}
+			if *flagSteal {
+				mx["comm.steal_reqs"] = float64(rep.StealReqs)
+				mx["comm.steals"] = float64(rep.Steals)
+				mx["comm.steal_tasks"] = float64(rep.StealTasks)
+				mx["comm.steal_aborts"] = float64(rep.StealAborts)
+				mx["core.tasks_rehomed"] = float64(rep.Rehomed)
+			}
+			emitRecord("TTG distributed FT", *flagThreads, *flagRanks, res, spec, mx)
 			return
 		}
 		status := ""
@@ -118,6 +140,10 @@ func main() {
 			res.Tasks, res.Elapsed, res.PerTask(), status)
 		fmt.Printf("  deaths=%d wave_restarts=%d reexecuted=%d remapped=%d pruned=%d keymap=%v\n",
 			rep.Deaths, rep.WaveRestarts, rep.Reexecuted, rep.Remapped, rep.Pruned, rep.Keymap)
+		if *flagSteal {
+			fmt.Printf("  steals=%d steal_tasks=%d steal_reqs=%d steal_aborts=%d rehomed=%d\n",
+				rep.Steals, rep.StealTasks, rep.StealReqs, rep.StealAborts, rep.Rehomed)
+		}
 		return
 	}
 	if *flagRanks > 0 && *flagCritpath {
@@ -125,21 +151,38 @@ func main() {
 		return
 	}
 	if *flagRanks > 0 {
-		res := taskbench.RunDistributedTTG(spec, *flagRanks, *flagThreads)
+		var res taskbench.Result
+		var mx map[string]float64
+		stealNote := ""
+		if *flagSteal {
+			// Stealing rides the metrics-enabled path so the steal counters
+			// land in the record.
+			var st taskbench.DistStats
+			res, st = taskbench.RunDistributedTTGSteal(spec, *flagRanks, *flagThreads, true)
+			mx = map[string]float64{
+				"comm.steal_reqs":   float64(st.StealReqs),
+				"comm.steals":       float64(st.Steals),
+				"comm.steal_tasks":  float64(st.StealTasks),
+				"comm.steal_aborts": float64(st.StealAborts),
+			}
+			stealNote = fmt.Sprintf("  steals=%d (%d tasks)", st.Steals, st.StealTasks)
+		} else {
+			res = taskbench.RunDistributedTTG(spec, *flagRanks, *flagThreads)
+		}
 		if *flagVerify && res.Checksum != want {
 			fmt.Fprintf(os.Stderr, "CHECKSUM MISMATCH (got %v want %v)\n", res.Checksum, want)
 			os.Exit(1)
 		}
 		if *flagJSON {
-			emitRecord("TTG distributed", *flagThreads, *flagRanks, res, spec, nil)
+			emitRecord("TTG distributed", *flagThreads, *flagRanks, res, spec, mx)
 			return
 		}
 		status := ""
 		if *flagVerify {
 			status = "  checksum OK"
 		}
-		fmt.Printf("%-44s %10d tasks  %12v total  %10v/task%s\n",
-			fmt.Sprintf("TTG distributed (%d ranks)", *flagRanks), res.Tasks, res.Elapsed, res.PerTask(), status)
+		fmt.Printf("%-44s %10d tasks  %12v total  %10v/task%s%s\n",
+			fmt.Sprintf("TTG distributed (%d ranks)", *flagRanks), res.Tasks, res.Elapsed, res.PerTask(), status, stealNote)
 		return
 	}
 	matched := 0

@@ -71,6 +71,7 @@ func runNetChild(spec taskbench.Spec) {
 	o := taskbench.NetOptions{
 		Workers:      *flagThreads,
 		FT:           true,
+		Steal:        *flagSteal,
 		SuspectAfter: time.Duration(*flagSuspectMS) * time.Millisecond,
 	}
 	if *flagNetKillRank == rank {
@@ -125,6 +126,9 @@ func runNetParent(spec taskbench.Spec, ranks int, verify bool, want float64) {
 			"-width", fmt.Sprint(spec.Width),
 			"-steps", fmt.Sprint(spec.Steps),
 			"-flops", fmt.Sprint(spec.Flops),
+			"-skew", fmt.Sprint(spec.Skew),
+			"-sleep-ns", fmt.Sprint(spec.SleepNs),
+			fmt.Sprintf("-steal=%v", *flagSteal),
 			"-threads", fmt.Sprint(*flagThreads),
 			"-net-suspect-ms", fmt.Sprint(*flagSuspectMS),
 			"-net-kill-rank", fmt.Sprint(*flagNetKillRank),
@@ -197,9 +201,14 @@ func runNetParent(spec taskbench.Spec, ranks int, verify bool, want float64) {
 	}
 
 	var reconnects, deaths, waveRestarts, reexecuted int64
+	var stealReqs, steals, stealTasks, stealAborts int64
 	for _, r := range results {
 		reconnects += r.Reconnects
 		reexecuted += r.Reexecuted
+		stealReqs += r.StealReqs
+		steals += r.Steals
+		stealTasks += r.StealTasks
+		stealAborts += r.StealAborts
 		if r.Deaths > deaths {
 			deaths = r.Deaths
 		}
@@ -208,12 +217,19 @@ func runNetParent(spec taskbench.Spec, ranks int, verify bool, want float64) {
 		}
 	}
 	if *flagJSON {
-		emitRecord("TTG dist tcp multiproc", *flagThreads, ranks, res, spec, map[string]float64{
+		mx := map[string]float64{
 			"comm.reconnects":       float64(reconnects),
 			"comm.rank_deaths":      float64(deaths),
 			"termdet.wave_restarts": float64(waveRestarts),
 			"core.tasks_reexecuted": float64(reexecuted),
-		})
+		}
+		if *flagSteal {
+			mx["comm.steal_reqs"] = float64(stealReqs)
+			mx["comm.steals"] = float64(steals)
+			mx["comm.steal_tasks"] = float64(stealTasks)
+			mx["comm.steal_aborts"] = float64(stealAborts)
+		}
+		emitRecord("TTG dist tcp multiproc", *flagThreads, ranks, res, spec, mx)
 		return
 	}
 	status := ""
@@ -224,4 +240,8 @@ func runNetParent(spec taskbench.Spec, ranks int, verify bool, want float64) {
 		fmt.Sprintf("TTG dist tcp (%d procs)", ranks), res.Tasks, res.Elapsed, res.PerTask(), status)
 	fmt.Printf("  reconnects=%d deaths=%d wave_restarts=%d reexecuted=%d\n",
 		reconnects, deaths, waveRestarts, reexecuted)
+	if *flagSteal {
+		fmt.Printf("  steals=%d steal_tasks=%d steal_reqs=%d steal_aborts=%d\n",
+			steals, stealTasks, stealReqs, stealAborts)
+	}
 }

@@ -185,7 +185,10 @@ func (p *Proc) flushLocked(dst int, b *batchBuf, reason FlushReason) {
 	if p.world.trace.Load() {
 		p.recordSend(dst, p.batchTag, len(payload), fid)
 	}
-	p.post(dst, message{src: p.rank, tag: p.batchTag, payload: payload, slab: true})
+	// a piggybacks this rank's load hint on every frame, so ranks that
+	// exchange activations see each other's depth at batch-traffic rate
+	// without any dedicated messages (heartbeats cover the silent pairs).
+	p.post(dst, message{src: p.rank, tag: p.batchTag, payload: payload, a: p.stealLoad(), slab: true})
 }
 
 // dispatchBatch unpacks one coalesced frame on the progress goroutine and
@@ -198,6 +201,7 @@ func (p *Proc) flushLocked(dst int, b *batchBuf, reason FlushReason) {
 func (p *Proc) dispatchBatch(m message) {
 	h := p.handlers[m.tag]
 	pl := m.payload
+	p.noteLoadHint(m.src, m.a) // piggybacked load hint (see flushLocked)
 	if mx := p.world.mx; mx != nil {
 		mx.recvd.Inc(p.rank)
 		mx.bytesRecvd.Add(p.rank, uint64(len(pl)))
@@ -258,6 +262,12 @@ func (p *Proc) dispatchBatch(m message) {
 		}
 	}
 	p.curFrameID = 0
+	if p.actsFrom != nil && delivered > 0 {
+		// Locality signal for victim selection: count delivered activations
+		// per source once per frame (cheap, and frames are the granularity
+		// that matters for link warmth anyway).
+		p.actsFrom[m.src].Add(int64(delivered))
+	}
 	if traced {
 		p.recordRecv(m.src, m.tag, len(pl), fid, start, time.Since(start))
 	}

@@ -41,6 +41,7 @@ const (
 	tagHeartbeat = -6 // failure detection: liveness beacon (never sequenced)
 	tagRankDead  = -7 // coordinator -> all: rank a confirmed dead, epoch ep
 	tagPrune     = -8 // receiver -> sender: a app messages dispatched; replay log prefix is durable
+	// -9 .. -13 are the work-stealing control tags; see steal.go.
 )
 
 // Handler processes an application-level active message on the destination
@@ -113,6 +114,13 @@ type World struct {
 	deadWire     []atomic.Bool
 	deaths       atomic.Int64
 	waveRestarts atomic.Int64
+
+	// Work-stealing statistics (see steal.go), aggregated across local
+	// ranks so network worlds can report them without a metrics registry.
+	stealReqs   atomic.Int64
+	steals      atomic.Int64
+	stealTasks  atomic.Int64
+	stealAborts atomic.Int64
 
 	// closed flips in Shutdown: from then on the wire discards every
 	// transmission instead of delivering it, so nothing repopulates the
@@ -288,6 +296,19 @@ type Proc struct {
 	pruneOn       bool
 	appDispatched []int64
 	pruneNotified []int64
+
+	// Work-stealing state (see steal.go). stealHooks is installed before
+	// Start; loadHints holds the last per-peer load hint (-1 = unknown) and
+	// actsFrom the per-peer delivered-activation counts (locality signal),
+	// both readable from any goroutine. stealPending buffers two-phase
+	// donations on the thief (progress-goroutine private); stealVictim is
+	// the rank of this rank's outstanding steal request (-1 = none).
+	stealHooks   *StealHooks
+	loadHints    []atomic.Int64
+	hintAt       []atomic.Int64 // UnixNano of each hint; stale hints revert to unknown
+	actsFrom     []atomic.Int64
+	stealPending map[stealKey]stealBuf
+	stealVictim  atomic.Int64
 
 	// non-root wave state (progress-goroutine-private). owedStamp is the
 	// round stamp of the latest probe that caught this rank busy; 0 = none.
@@ -488,6 +509,12 @@ func (p *Proc) progress() {
 			// Bound the latency of appends the idle hook cannot see (the
 			// progress goroutine's own forwards, trickle traffic).
 			p.FlushBatches(FlushIdle)
+			// Pump the steal policy: the runtime idle hook only fires on the
+			// idle transition, so retrying a failed probe (with every worker
+			// parked in its spin loop) needs this periodic pulse.
+			if h := p.stealHooks; h != nil && h.Tick != nil && !p.terminated {
+				h.Tick()
+			}
 		case <-p.mbox.note:
 			buf = p.mbox.drain(buf)
 			for _, m := range buf {
@@ -664,7 +691,9 @@ func (p *Proc) dispatch(m message) bool {
 		}
 	case tagHeartbeat:
 		// Liveness beacon: receive() already refreshed lastHeard. The dead
-		// set gossiped in a converges membership if a rankDead was missed.
+		// set gossiped in a converges membership if a rankDead was missed;
+		// b carries the sender's load hint for the steal policy.
+		p.noteLoadHint(m.src, m.b)
 		p.applyGossip(m.a)
 	case tagRankDead:
 		if int(m.a) == p.rank {
@@ -680,6 +709,25 @@ func (p *Proc) dispatch(m message) bool {
 		if p.onPrune != nil {
 			p.onPrune(m.src, m.a)
 		}
+	// Steal control: each handler performs its forward action (next protocol
+	// message, local re-queue, or injection with its Discovered accounting)
+	// BEFORE the inbound receipt is counted below, so the termination wave
+	// never sees balanced counters while a steal is mid-flight.
+	case tagStealReq:
+		p.handleStealReq(m)
+		p.det.MsgRecvdFrom(m.src)
+	case tagStealResp:
+		p.handleStealResp(m)
+		p.det.MsgRecvdFrom(m.src)
+	case tagStealAccept:
+		p.handleStealAccept(m)
+		p.det.MsgRecvdFrom(m.src)
+	case tagStealCommit:
+		p.handleStealCommit(m)
+		p.det.MsgRecvdFrom(m.src)
+	case tagStealAbort:
+		p.handleStealAbort(m)
+		p.det.MsgRecvdFrom(m.src)
 	default:
 		if m.tag == p.batchTag {
 			p.dispatchBatch(m)

@@ -62,6 +62,11 @@ func (w *World) EnableFailureDetection(cfg FDConfig) {
 // FailureDetectionEnabled reports whether EnableFailureDetection was called.
 func (w *World) FailureDetectionEnabled() bool { return w.fd != nil }
 
+// FailureDetectionOn reports whether this endpoint's world runs heartbeat
+// failure detection (the per-Proc view of FailureDetectionEnabled, for layers
+// that only hold the endpoint).
+func (p *Proc) FailureDetectionOn() bool { return p.world.fd != nil }
+
 // KillRank fail-stops rank r: its wire goes silent in both directions and its
 // progress goroutine is torn down. The rank's onKilled hook (if any) runs
 // first so the local runtime can abort and drain. Survivors notice the
@@ -126,8 +131,9 @@ func (p *Proc) fdTick(now time.Time) {
 			// Heartbeats are unsequenced: they prove liveness, not order, and
 			// must not occupy retransmit state. They gossip the sender's dead
 			// set so a survivor that missed a rankDead broadcast (e.g. the
-			// coordinator died mid-broadcast) still converges.
-			p.world.transmit(dst, message{src: p.rank, tag: tagHeartbeat, a: mask})
+			// coordinator died mid-broadcast) still converges. b piggybacks
+			// this rank's ready-depth load hint for the steal policy.
+			p.world.transmit(dst, message{src: p.rank, tag: tagHeartbeat, a: mask, b: p.stealLoad()})
 		}
 	}
 	// After global termination the run is semantically complete: peers that
@@ -263,6 +269,11 @@ func (p *Proc) applyRankDead(dead int) {
 	if p.rank == p.root() {
 		p.world.waveRestarts.Add(1)
 	}
+	// Clear thief-side steal state toward the corpse before the recovery
+	// hook runs: a buffered donation from it is dropped (recovery re-homes
+	// and re-executes the dead rank's work) and an unanswered request's
+	// in-flight latch is released so this rank can steal elsewhere.
+	p.stealOnPeerDead(dead)
 	if f := p.onRankDead; f != nil {
 		f(dead, int(epoch))
 	}

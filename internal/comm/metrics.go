@@ -75,6 +75,10 @@ func (w *World) EnableMetrics() *metrics.Registry {
 	reg.Func("comm.rank_deaths", w.Deaths)
 	reg.Func("comm.reconnects", w.Reconnects)
 	reg.Func("termdet.wave_restarts", w.WaveRestarts)
+	reg.Func("comm.steal_reqs", w.StealReqs)
+	reg.Func("comm.steals", w.Steals)
+	reg.Func("comm.steal_tasks", w.StealTasks)
+	reg.Func("comm.steal_aborts", w.StealAborts)
 	return reg
 }
 

@@ -51,6 +51,10 @@ type Graph struct {
 	// EnableFaultTolerance); see recover.go.
 	ft *ftState
 
+	// steal holds the work-stealing policy state (nil unless
+	// EnableWorkStealing); see steal.go.
+	steal *stealState
+
 	// gobEnc/gobDec are the per-peer cached gob streams (codec.go), built by
 	// MakeExecutable on non-FT distributed graphs; nil otherwise.
 	gobEnc []*streamEnc
@@ -184,9 +188,24 @@ func (g *Graph) MakeExecutable() {
 			g.rtm.Abort(fmt.Errorf("ttg: aborted by rank %d: %s", src, reason))
 		})
 		g.proc.SetOnError(func(err error) { g.rtm.Abort(err) })
+		if g.steal != nil {
+			if g.proc.FailureDetectionOn() && g.ft == nil {
+				panic("ttg: work stealing on a failure-detecting world requires EnableFaultTolerance: a steal racing a rank death needs the two-phase commit and the donation sweep")
+			}
+			g.installSteal()
+		}
 		// Flush coalesced activations whenever a worker runs out of local
 		// work: outbound latency must not gate on the next progress tick.
-		g.rtm.SetIdleHook(func() { g.proc.FlushBatches(comm.FlushIdle) })
+		// With stealing on, an idle worker is also the trigger to go find
+		// remote work.
+		if g.steal != nil {
+			g.rtm.SetIdleHook(func() {
+				g.proc.FlushBatches(comm.FlushIdle)
+				g.maybeSteal()
+			})
+		} else {
+			g.rtm.SetIdleHook(func() { g.proc.FlushBatches(comm.FlushIdle) })
+		}
 		g.proc.Start(g.rtm.Det, func() { g.rtm.SignalDone() })
 		g.rtm.Start(true)
 	} else {
@@ -349,6 +368,24 @@ func (g *Graph) EnableMetrics() *metrics.Registry {
 		reg.Func("core.keys_remapped", func() int64 {
 			if ft := g.ft; ft != nil {
 				return ft.remapped.Load()
+			}
+			return 0
+		})
+		reg.Func("core.steal.stolen_tasks", func() int64 {
+			if s := g.steal; s != nil {
+				return s.stolen.Load()
+			}
+			return 0
+		})
+		reg.Func("core.steal.donated_tasks", func() int64 {
+			if s := g.steal; s != nil {
+				return s.donated.Load()
+			}
+			return 0
+		})
+		reg.Func("core.steal.rehomed_tasks", func() int64 {
+			if s := g.steal; s != nil {
+				return s.rehomed.Load()
 			}
 			return 0
 		})

@@ -61,8 +61,12 @@ type ftState struct {
 	route []atomic.Int32
 
 	// anyDead flips on the first confirmed death; before that, local
-	// deliveries skip the journal entirely (pre-death local sends can never
-	// collide with recovery re-deliveries).
+	// deliveries from home-keyed tasks skip the journal entirely (a
+	// survivor's own tasks are never re-executed elsewhere, so their
+	// pre-death local sends cannot collide with recovery re-deliveries).
+	// Work stealing voids that invariant for FOREIGN-keyed executions — a
+	// stolen task's sends WILL be regenerated if its home rank dies — so
+	// those journal unconditionally (ftSendCtx.foreign).
 	anyDead atomic.Bool
 
 	// mu guards dead/logs/base/seeds AND spans route-resolution + log-append
@@ -115,9 +119,15 @@ type ftSeed struct {
 // ftSendCtx identifies the executing source task on one worker identity.
 type ftSendCtx struct {
 	active bool
-	ttID   uint32
-	key    uint64
-	idx    uint32 // send counter within this execution
+	// foreign marks a task executing away from its static owner — a stolen
+	// task on a thief, or a re-homed task after a death. Its local deliveries
+	// must go through the journal even before any death: the static owner's
+	// recovery cascade can regenerate exactly these sends, and an unjournaled
+	// first application would let the regenerated copy be applied twice.
+	foreign bool
+	ttID    uint32
+	key     uint64
+	idx     uint32 // send counter within this execution
 }
 
 // mix64 is the splitmix64 finalizer, used to hash activation identities.
@@ -178,7 +188,16 @@ func (g *Graph) EnableFaultTolerance() {
 		ft.route[i].Store(int32(i))
 	}
 	g.ft = ft
-	g.proc.SetOnRankDead(ft.onRankDead)
+	// The steal-donation sweep (steal.go) must run BEFORE key re-homing and
+	// replay: re-injected donations are local re-discoveries, and the sweep
+	// must not observe a half-recovered keymap. The closure checks g.steal at
+	// call time — EnableWorkStealing may legally follow EnableFaultTolerance.
+	g.proc.SetOnRankDead(func(dead, epoch int) {
+		if s := g.steal; s != nil {
+			s.onRankDead(dead)
+		}
+		ft.onRankDead(dead, epoch)
+	})
 	g.proc.SetOnKilled(g.killLocal)
 	g.proc.SetOnPrune(ft.onPrune)
 }

@@ -184,7 +184,12 @@ func ttExecute(w *rt.Worker, t *rt.Task) {
 		// child executions nesting on the same worker stack.
 		sc := &ft.srcCtx[w.HTSlot()]
 		saved := *sc
-		*sc = ftSendCtx{active: true, ttID: uint32(tt.id), key: t.Key()}
+		*sc = ftSendCtx{
+			active:  true,
+			foreign: tt.mapFn != nil && tt.mapFn(t.Key()) != tt.g.rank,
+			ttID:    uint32(tt.id),
+			key:     t.Key(),
+		}
 		defer func() { *sc = saved }()
 	}
 	tt.body(TaskContext{w: w, t: t, tt: tt})
@@ -265,8 +270,10 @@ func (g *Graph) deliverFT(w *rt.Worker, d dest, key uint64, c *rt.Copy, owned bo
 		return
 	}
 	var id uint64
+	var foreignSrc bool
 	if sc := &ft.srcCtx[w.HTSlot()]; sc.active {
 		sc.idx++
+		foreignSrc = sc.foreign
 		if sc.ttID != uint32(tt.id) || sc.key != key {
 			id = ftActID(sc.ttID, sc.key, sc.idx, uint32(tt.id), uint32(d.slot), key)
 		}
@@ -285,7 +292,13 @@ func (g *Graph) deliverFT(w *rt.Worker, d dest, key uint64, c *rt.Copy, owned bo
 			return
 		}
 	}
-	if id != 0 && ft.anyDead.Load() && !ft.firstTime(id) {
+	// Journal local deliveries once any rank has died (replayed activations
+	// regenerated by re-executed producers must apply at most once) — and
+	// ALWAYS when the producer executes away from its static home (a stolen
+	// task): if its home rank later dies, the recovery cascade regenerates
+	// exactly these sends, and only the journal entry written here lets the
+	// regenerated copy be recognized as a duplicate.
+	if id != 0 && (foreignSrc || ft.anyDead.Load()) && !ft.firstTime(id) {
 		if c != nil && owned {
 			c.Release(w)
 		}

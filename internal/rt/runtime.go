@@ -30,6 +30,12 @@ type Runtime struct {
 	causal  bool // EnableCausalTracing: tasks carry spans
 	mx      *rtMetrics
 
+	// loadTrack gates the approximate ready-task counter that inter-rank
+	// work stealing advertises as a load hint. Off by default so the extra
+	// atomic per schedule/dequeue stays entirely off the single-process path.
+	loadTrack bool
+	ready     atomic.Int64
+
 	done    atomic.Bool
 	doneCh  chan struct{}
 	started atomic.Bool
@@ -169,7 +175,88 @@ func (r *Runtime) EndAction() {
 // communication handler). The discovery must already be accounted by the
 // caller (Discovered/BeginAction) before Inject to keep termination sound.
 func (r *Runtime) Inject(t *Task) {
+	r.loadInc(1)
 	r.inject.push(t)
+}
+
+// EnableLoadTracking turns on the approximate ready-queue depth counter.
+// Must be called before Start.
+func (r *Runtime) EnableLoadTracking() {
+	if r.started.Load() {
+		panic("rt: EnableLoadTracking must precede Start")
+	}
+	r.loadTrack = true
+}
+
+func (r *Runtime) loadInc(n int64) {
+	if r.loadTrack {
+		r.ready.Add(n)
+	}
+}
+
+func (r *Runtime) loadDec() {
+	if r.loadTrack {
+		r.ready.Add(-1)
+	}
+}
+
+// ReadyApprox returns the approximate number of ready, not-yet-started
+// tasks queued on this runtime (scheduler queues plus the injector). It is
+// advisory — concurrent schedule/dequeue traffic makes it momentarily
+// stale — and reads 0 unless EnableLoadTracking was called.
+func (r *Runtime) ReadyApprox() int64 {
+	n := r.ready.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// StealReady extracts up to max ready, not-yet-started tasks for donation
+// to another rank: it drains the scheduler queues and the injector, keeps
+// the higher-priority half local (re-injected), and returns the
+// lowest-priority min(max, total/2) tasks. The returned tasks are
+// exclusively owned by the caller; their discovery accounting is NOT
+// touched (the caller must account each donated task's disposal). w is the
+// calling service-worker identity. Safe concurrently with running workers.
+func (r *Runtime) StealReady(w *Worker, max int) []*Task {
+	chain, n := r.sched.DrainReady(w)
+	// Fold the injector in: remotely delivered activations queued there are
+	// just as ready (and as stealable) as scheduler-queued tasks.
+	var injected []*Task
+	for {
+		t := r.inject.pop()
+		if t == nil {
+			break
+		}
+		injected = append(injected, t)
+	}
+	total := n + len(injected)
+	r.loadInc(int64(-total))
+	if total == 0 {
+		return nil
+	}
+	take := total / 2
+	if take > max {
+		take = max
+	}
+	// Flatten, scheduler chain (descending priority) first, injector FIFO
+	// after: the donation comes from the back, so victims part with their
+	// lowest-priority ready work — the steal-half discipline.
+	all := make([]*Task, 0, total)
+	for t := chain; t != nil; {
+		next := t.next
+		t.next = nil
+		all = append(all, t)
+		t = next
+	}
+	all = append(all, injected...)
+	keep := all[:total-take]
+	donate := all[total-take:]
+	for _, t := range keep {
+		r.Inject(t)
+	}
+	return donate
 }
 
 // SignalDone marks global termination and releases WaitDone.

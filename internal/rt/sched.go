@@ -18,6 +18,12 @@ type scheduler interface {
 	Pop(wid int) *Task
 	// Steal finds work for starving worker wid anywhere else, or nil.
 	Steal(wid int) *Task
+	// DrainReady detaches every queued-but-not-started task, returning the
+	// chain (linked via next, highest priority first where the scheduler
+	// tracks priorities) and its length. Used by inter-rank work stealing to
+	// extract a donation slice; w supplies accounting identity and may be a
+	// service worker. Safe concurrently with worker Pop/Steal.
+	DrainReady(w *Worker) (*Task, int)
 	// Name identifies the scheduler in output.
 	Name() string
 }

@@ -163,5 +163,36 @@ func (s *lfq) Steal(wid int) *Task {
 	return s.popGlobal(w)
 }
 
+// DrainReady implements scheduler: empty every bounded buffer (blocking on
+// each spinlock — unlike popBuf, a drain must not skip busy buffers) and the
+// global FIFO, returning one descending-priority chain.
+func (s *lfq) DrainReady(w *Worker) (*Task, int) {
+	var all *Task
+	n := 0
+	for i := range s.bufs {
+		b := &s.bufs[i]
+		b.lock.Lock()
+		w.countAtomic(&w.Atomics.Sched)
+		for j := range b.slots {
+			if t := b.slots[j]; t != nil {
+				b.slots[j] = nil
+				t.next = nil
+				all = insertSorted(all, t)
+				n++
+			}
+		}
+		b.lock.Unlock()
+	}
+	for {
+		t := s.popGlobal(w)
+		if t == nil {
+			break
+		}
+		all = insertSorted(all, t)
+		n++
+	}
+	return all, n
+}
+
 // Name implements scheduler.
 func (s *lfq) Name() string { return "LFQ" }

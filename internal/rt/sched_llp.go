@@ -235,6 +235,24 @@ func (s *llp) Steal(wid int) *Task {
 	return nil
 }
 
+// DrainReady implements scheduler: detach every per-worker chain with the
+// same single-Swap discipline as stealAll and merge them into one
+// descending-priority chain. After each Swap the chain is exclusively owned,
+// so the merge never races with workers.
+func (s *llp) DrainReady(w *Worker) (*Task, int) {
+	var all *Task
+	for i := range s.queues {
+		if chain := s.queues[i].stealAll(w); chain != nil {
+			all = mergeSorted(all, chain)
+		}
+	}
+	n := 0
+	for t := all; t != nil; t = t.next {
+		n++
+	}
+	return all, n
+}
+
 // Name implements scheduler.
 func (s *llp) Name() string {
 	if s.prio {

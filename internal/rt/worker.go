@@ -209,6 +209,7 @@ func (w *Worker) Schedule(t *Task) {
 		w.rt.Inject(t)
 		return
 	}
+	w.rt.loadInc(1)
 	w.rt.sched.Push(w.ID, t)
 }
 
@@ -226,6 +227,7 @@ func (w *Worker) ScheduleChain(head *Task, n int) {
 		}
 		return
 	}
+	w.rt.loadInc(int64(n))
 	w.rt.sched.PushChain(w.ID, head, n)
 }
 
@@ -438,24 +440,30 @@ func (w *Worker) TryInline(t *Task) bool {
 	return true
 }
 
-// findTask sources work: local queue, injected tasks, then stealing.
+// findTask sources work: local queue, injected tasks, then stealing. Each
+// successful dequeue decrements the advertised ready-depth counter (one
+// task leaves the queued state; LLP steal adoption keeps the remainder
+// queued, so only the returned task is decremented).
 func (w *Worker) findTask() *Task {
 	if t := w.rt.sched.Pop(w.ID); t != nil {
 		if m := w.mx; m != nil {
 			m.schedPop.Inc(w.htSlot)
 		}
+		w.rt.loadDec()
 		return t
 	}
 	if t := w.rt.inject.pop(); t != nil {
 		if m := w.mx; m != nil {
 			m.schedInject.Inc(w.htSlot)
 		}
+		w.rt.loadDec()
 		return t
 	}
 	if t := w.rt.sched.Steal(w.ID); t != nil {
 		if m := w.mx; m != nil {
 			m.schedSteal.Inc(w.htSlot)
 		}
+		w.rt.loadDec()
 		return t
 	}
 	return nil

@@ -31,6 +31,16 @@ type TracedDist struct {
 // instrumented profiling run — throughput numbers from it are not
 // comparable to the uninstrumented runners.
 func RunDistributedTTGTraced(s Spec, ranks, workersPerRank int) TracedDist {
+	out, _ := RunDistributedTTGTracedSteal(s, ranks, workersPerRank, false)
+	return out
+}
+
+// RunDistributedTTGTracedSteal is RunDistributedTTGTraced with inter-rank
+// work stealing optionally enabled: stolen tasks get a fresh span on the
+// EXECUTING rank with a cross-rank cause pointing at the victim-side span
+// that assembled their inputs, so critical-path analysis and the Chrome flow
+// arrows stay truthful under migration. Also returns the steal counters.
+func RunDistributedTTGTracedSteal(s Spec, ranks, workersPerRank int, steal bool) (TracedDist, DistStats) {
 	if ranks > s.Width {
 		ranks = s.Width
 	}
@@ -58,6 +68,9 @@ func RunDistributedTTGTraced(s Spec, ranks, workersPerRank int) TracedDist {
 		cfg.CountAtomics = true
 		graphs[r] = core.NewDistributed(cfg, world.Proc(r))
 		graphs[r].EnableCausalTracing()
+		if steal && ranks > 1 {
+			graphs[r].EnableWorkStealing()
+		}
 		points[r] = buildPointTT(graphs[r], s, mapper, record)
 	}
 	t0 := time.Now()
@@ -92,6 +105,12 @@ func RunDistributedTTGTraced(s Spec, ranks, workersPerRank int) TracedDist {
 		out.Atomics.Alloc += a.Alloc
 	}
 	out.Events = append(out.Events, critpath.FlowEvents(out.Spans)...)
+	stats := DistStats{
+		StealReqs:   world.StealReqs(),
+		Steals:      world.Steals(),
+		StealTasks:  world.StealTasks(),
+		StealAborts: world.StealAborts(),
+	}
 	world.Shutdown()
 
 	checksum := 0.0
@@ -99,5 +118,5 @@ func RunDistributedTTGTraced(s Spec, ranks, workersPerRank int) TracedDist {
 		checksum += lastVals[p]
 	}
 	out.Result = Result{Elapsed: elapsed, Checksum: checksum, Tasks: s.TotalTasks()}
-	return out
+	return out, stats
 }

@@ -25,6 +25,13 @@ type DistStats struct {
 	ActsPerMsg  float64 // coalescing factor
 	MsgsPerSec  float64 // wire frames per wall-clock second
 	ActsPerSec  float64 // activations per wall-clock second
+
+	// Work-stealing counters (zero when stealing is off): requests issued,
+	// steals that injected tasks, tasks transferred, and aborted attempts.
+	StealReqs   int64
+	Steals      int64
+	StealTasks  int64
+	StealAborts int64
 }
 
 // RunDistributedTTG executes the Task-Bench spec over `ranks` simulated
@@ -37,7 +44,7 @@ type DistStats struct {
 // Returns the global checksum (bit-identical to Spec.Reference) and the
 // wall-clock time.
 func RunDistributedTTG(s Spec, ranks, workersPerRank int) Result {
-	res, _ := runDistributedTTG(s, ranks, workersPerRank, false)
+	res, _ := runDistributedTTG(s, ranks, workersPerRank, false, false)
 	return res
 }
 
@@ -45,10 +52,16 @@ func RunDistributedTTG(s Spec, ranks, workersPerRank int) Result {
 // additionally reporting the wire-level message statistics (frames,
 // activations carried, coalescing factor, messages/sec).
 func RunDistributedTTGStats(s Spec, ranks, workersPerRank int) (Result, DistStats) {
-	return runDistributedTTG(s, ranks, workersPerRank, true)
+	return runDistributedTTG(s, ranks, workersPerRank, true, false)
 }
 
-func runDistributedTTG(s Spec, ranks, workersPerRank int, withStats bool) (Result, DistStats) {
+// RunDistributedTTGSteal is RunDistributedTTGStats with inter-rank work
+// stealing switched on (or off, for a paired comparison on the same path).
+func RunDistributedTTGSteal(s Spec, ranks, workersPerRank int, steal bool) (Result, DistStats) {
+	return runDistributedTTG(s, ranks, workersPerRank, true, steal)
+}
+
+func runDistributedTTG(s Spec, ranks, workersPerRank int, withStats, steal bool) (Result, DistStats) {
 	if ranks > s.Width {
 		ranks = s.Width
 	}
@@ -81,6 +94,9 @@ func runDistributedTTG(s Spec, ranks, workersPerRank int, withStats bool) (Resul
 		cfg := rt.OptimizedConfig(workersPerRank)
 		cfg.PinWorkers = false
 		graphs[r] = core.NewDistributed(cfg, world.Proc(r))
+		if steal && ranks > 1 {
+			graphs[r].EnableWorkStealing()
+		}
 		points[r] = build(graphs[r])
 	}
 	t0 := time.Now()
@@ -101,6 +117,10 @@ func runDistributedTTG(s Spec, ranks, workersPerRank int, withStats bool) (Resul
 	var stats DistStats
 	if withStats {
 		stats = extractDistStats(world.MetricsSnapshot(), elapsed)
+		stats.StealReqs = world.StealReqs()
+		stats.Steals = world.Steals()
+		stats.StealTasks = world.StealTasks()
+		stats.StealAborts = world.StealAborts()
 	}
 	world.Shutdown()
 	checksum := 0.0

@@ -37,6 +37,7 @@ func buildPointTT(g *core.Graph, s Spec, mapper func(key uint64) int, record fun
 		if int(t) == 0 {
 			depVals = nil
 		}
+		s.SleepAt(int(p))
 		v := s.Value(int(t), int(p), depVals)
 		if int(t) == s.Steps-1 {
 			record(int(p), v)
@@ -76,6 +77,10 @@ type FTOptions struct {
 	// Pruning enables replay-log pruning on every rank.
 	Pruning bool
 
+	// Steal enables inter-rank work stealing on every rank (two-phase
+	// commit, since fault tolerance is on).
+	Steal bool
+
 	// Failure-detection tuning (zero values take the comm defaults).
 	Heartbeat    time.Duration
 	SuspectAfter time.Duration
@@ -90,6 +95,13 @@ type FTReport struct {
 	Remapped     int64
 	Pruned       int64
 	Keymap       []int // final RecoveryKeymap (from the lowest surviving rank)
+
+	// Work-stealing counters (zero when FTOptions.Steal is off).
+	StealReqs   int64
+	Steals      int64
+	StealTasks  int64
+	StealAborts int64
+	Rehomed     int64 // donated tasks re-injected at their victim
 }
 
 // RunDistributedTTGFT is RunDistributedTTG with fail-stop fault tolerance:
@@ -142,6 +154,9 @@ func RunDistributedTTGFT(s Spec, o FTOptions) (Result, FTReport) {
 		if o.Pruning {
 			graphs[r].EnableReplayPruning()
 		}
+		if o.Steal && ranks > 1 {
+			graphs[r].EnableWorkStealing()
+		}
 		points[r] = buildPointTT(graphs[r], s, mapper, record)
 	}
 
@@ -186,11 +201,17 @@ func RunDistributedTTGFT(s Spec, o FTOptions) (Result, FTReport) {
 		Deaths:       world.Deaths(),
 		WaveRestarts: world.WaveRestarts(),
 	}
+	rep.StealReqs = world.StealReqs()
+	rep.Steals = world.Steals()
+	rep.StealTasks = world.StealTasks()
+	rep.StealAborts = world.StealAborts()
 	for r := 0; r < ranks; r++ {
 		re, rm, pr := graphs[r].RecoveryStats()
 		rep.Reexecuted += re
 		rep.Remapped += rm
 		rep.Pruned += pr
+		_, _, rh := graphs[r].StealStats()
+		rep.Rehomed += rh
 		if rep.Keymap == nil && errs[r] == nil {
 			rep.Keymap = graphs[r].RecoveryKeymap()
 		}

@@ -37,6 +37,9 @@ type NetOptions struct {
 	FT bool
 	// Pruning enables replay-log pruning (only meaningful with FT).
 	Pruning bool
+	// Steal enables inter-rank work stealing (two-phase commit when FT is
+	// also on; requires FT when failure detection runs).
+	Steal bool
 	// Heartbeat and SuspectAfter tune failure detection (zero = defaults).
 	Heartbeat    time.Duration
 	SuspectAfter time.Duration
@@ -74,6 +77,10 @@ type NetRankResult struct {
 	Deaths       int64  `json:"deaths"`
 	WaveRestarts int64  `json:"wave_restarts"`
 	Reexecuted   int64  `json:"reexecuted"`
+	StealReqs    int64  `json:"steal_reqs,omitempty"`   // steal requests issued by this rank
+	Steals       int64  `json:"steals,omitempty"`       // steals completed with this rank as thief
+	StealTasks   int64  `json:"steal_tasks,omitempty"`  // tasks injected by those steals
+	StealAborts  int64  `json:"steal_aborts,omitempty"` // aborted attempts seen by this rank
 	Drained      bool   `json:"drained"`
 	Err          string `json:"err,omitempty"`
 }
@@ -123,6 +130,9 @@ func RunDistributedTTGRank(s Spec, tr comm.Transport, o NetOptions) (NetRankResu
 			g.EnableReplayPruning()
 		}
 	}
+	if o.Steal && ranks > 1 {
+		g.EnableWorkStealing()
+	}
 	point := buildPointTT(g, s, mapper, record)
 
 	stop := make(chan struct{})
@@ -164,6 +174,10 @@ func RunDistributedTTGRank(s Spec, tr comm.Transport, o NetOptions) (NetRankResu
 	res.Deaths = world.Deaths()
 	res.WaveRestarts = world.WaveRestarts()
 	res.Reexecuted, _, _ = g.RecoveryStats()
+	res.StealReqs = world.StealReqs()
+	res.Steals = world.Steals()
+	res.StealTasks = world.StealTasks()
+	res.StealAborts = world.StealAborts()
 	if waitErr != nil {
 		res.Err = waitErr.Error()
 	}

@@ -107,6 +107,75 @@ func TestTCPChaosSoak(t *testing.T) {
 	}
 }
 
+// TestTCPStealSkewed runs the skewed instance over real loopback TCP with
+// work stealing on (one-phase: no failure detection, nobody can die): load
+// hints must propagate over the wire via batch frames, donations must cross
+// the transport intact, and the checksum must stay bit-identical.
+func TestTCPStealSkewed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rank TCP run")
+	}
+	s := skewedSpec()
+	res, rrs, err := RunDistributedTTGTCP(s, 4, 2, nil, NetOptions{Steal: true})
+	if err != nil {
+		t.Fatalf("RunDistributedTTGTCP: %v", err)
+	}
+	requireBitIdentical(t, s, res)
+	var steals, stolen int64
+	for _, r := range rrs {
+		steals += r.Steals
+		stolen += r.StealTasks
+		if !r.Drained {
+			t.Fatalf("rank %d did not drain its links before shutdown", r.Rank)
+		}
+	}
+	if steals == 0 {
+		t.Skip("no steals completed this run — checksum verified, nothing stolen to check")
+	}
+	t.Logf("TCP skewed run: %d steals moved %d tasks, checksum bit-identical", steals, stolen)
+}
+
+// TestTCPStealChaosSoak combines work stealing with the seeded socket-fault
+// injector over loopback TCP: two-phase donations (FT on) must survive
+// connection kills, torn writes, and short partitions — retransmitted,
+// deduplicated, never double-injected — with a bit-identical checksum and
+// zero false-positive deaths. The SIGKILL-mid-steal variant needs real
+// process boundaries and lives in netproc_test.go.
+func TestTCPStealChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	s := skewedSpec()
+	fault := &tcptransport.FaultConfig{
+		Seed:          20260808,
+		ConnKillProb:  0.01,
+		TornWriteProb: 0.005,
+		SlowReadProb:  0.01,
+		SlowReadMax:   300 * time.Microsecond,
+	}
+	res, rrs, err := RunDistributedTTGTCP(s, 4, 2, fault, NetOptions{
+		FT:           true,
+		Steal:        true,
+		SuspectAfter: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("steal chaos run: %v", err)
+	}
+	requireBitIdentical(t, s, res)
+	var steals, aborts, deaths, reconnects int64
+	for _, r := range rrs {
+		steals += r.Steals
+		aborts += r.StealAborts
+		deaths += r.Deaths
+		reconnects += r.Reconnects
+	}
+	if deaths != 0 {
+		t.Fatalf("steal chaos soak produced %d false-positive rank deaths", deaths)
+	}
+	t.Logf("steal chaos soak: %d steals, %d aborts, %d reconnects, checksum bit-identical",
+		steals, aborts, reconnects)
+}
+
 func TestMergeNetResults(t *testing.T) {
 	s := Spec{Pattern: Stencil1D, Width: 4, Steps: 2, Flops: 10}
 	ok := []NetRankResult{

@@ -10,6 +10,7 @@ package taskbench
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Pattern selects the dependency structure between consecutive timesteps.
@@ -63,6 +64,23 @@ type Spec struct {
 	Width   int // points per timestep (paper: one per core)
 	Steps   int // timesteps (paper: 1000)
 	Flops   int // kernel flops per task
+
+	// Skew tilts the kernel cost linearly across the iteration space: point
+	// p costs (1 + Skew·p/(Width-1)) times the base flops, so with Skew=3
+	// the highest point is 4x the lowest. Under the block key map this
+	// deliberately overloads the high ranks — the imbalanced instance the
+	// work-stealing benchmarks use. 0 means uniform cost. Every contender
+	// computes through Value, so checksums stay bit-identical at any skew.
+	Skew float64
+
+	// SleepNs models upstream Task-Bench's "sleep" kernel type: each task
+	// body blocks for this many nanoseconds (scaled by the same skew factor
+	// as the flops) on top of the compute chain. A sleeping task occupies a
+	// worker without occupying a core, so load imbalance shows up in
+	// wall-clock time even when all ranks timeshare a few CPUs — the
+	// latency-bound instance the work-stealing benchmarks use. Sleeping
+	// never changes computed values, so checksums are unaffected. 0 disables.
+	SleepNs int64
 }
 
 // log2floor returns floor(log2(w)), at least 1.
@@ -167,10 +185,41 @@ func (s Spec) kernelIters() int {
 	return it
 }
 
+// kernelItersAt scales the iteration count for point p by the skew factor.
+func (s Spec) kernelItersAt(p int) int {
+	it := s.kernelIters()
+	if s.Skew <= 0 || s.Width <= 1 {
+		return it
+	}
+	return int(float64(it) * (1 + s.Skew*float64(p)/float64(s.Width-1)))
+}
+
 // Kernel is the compute-bound task body: a dependent multiply-add chain of
 // s.Flops floating-point operations seeded with x.
 func (s Spec) Kernel(x float64) float64 {
-	n := s.kernelIters()
+	return kernelChain(x, s.kernelIters())
+}
+
+// KernelAt is Kernel with the skew-scaled cost of point p.
+func (s Spec) KernelAt(p int, x float64) float64 {
+	return kernelChain(x, s.kernelItersAt(p))
+}
+
+// SleepAt blocks for point p's skew-scaled share of SleepNs (no-op at 0).
+// Task bodies call it alongside the compute kernel; Reference does not,
+// since sleeping never changes values.
+func (s Spec) SleepAt(p int) {
+	if s.SleepNs <= 0 {
+		return
+	}
+	d := s.SleepNs
+	if s.Skew > 0 && s.Width > 1 {
+		d = int64(float64(d) * (1 + s.Skew*float64(p)/float64(s.Width-1)))
+	}
+	time.Sleep(time.Duration(d))
+}
+
+func kernelChain(x float64, n int) float64 {
 	for i := 0; i < n; i++ {
 		x = x*1.0000001 + 1e-9
 	}
@@ -185,7 +234,7 @@ func (s Spec) Value(t, p int, depVals []float64) float64 {
 	for _, v := range depVals {
 		x += v
 	}
-	return s.Kernel(x / 3)
+	return s.KernelAt(p, x/3)
 }
 
 // Reference computes the expected checksum (sum of last-step values) with a
