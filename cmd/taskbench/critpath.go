@@ -15,7 +15,7 @@ import (
 // a BENCH record carrying the `critpath` field. With -trace it also writes
 // the merged Chrome trace, flow arrows included.
 func runCritpath(spec taskbench.Spec, ranks, threads int, want float64) {
-	td := taskbench.RunDistributedTTGTraced(spec, ranks, threads)
+	td, _ := taskbench.RunDistributedTTGTracedTuned(spec, ranks, threads, *flagSteal, tuning())
 	if *flagVerify && td.Result.Checksum != want {
 		fmt.Fprintf(os.Stderr, "CHECKSUM MISMATCH (got %v want %v)\n", td.Result.Checksum, want)
 		os.Exit(1)

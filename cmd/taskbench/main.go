@@ -16,6 +16,7 @@ import (
 
 	"gottg/internal/bench"
 	"gottg/internal/metrics"
+	"gottg/internal/rt"
 	"gottg/internal/taskbench"
 )
 
@@ -41,7 +42,16 @@ var (
 	flagSteal   = flag.Bool("steal", false, "enable inter-rank work stealing (requires -ranks; two-phase with -kill-rank/-net FT)")
 	flagSkew    = flag.Float64("skew", 0, "tilt kernel cost linearly across points: point p costs (1 + skew*p/(width-1)) x flops")
 	flagSleepNs = flag.Int64("sleep-ns", 0, "add a skew-scaled blocking sleep of this many ns to each task (task-bench sleep kernel)")
+
+	flagPriority   = flag.Bool("priority", false, "enable online bottom-level task priorities (TTG runners)")
+	flagInlineAuto = flag.Bool("inline-auto", false, "enable the adaptive inline policy (TTG runners)")
+	flagLockFree   = flag.Bool("lockfree-ht", false, "enable the wait-free discovery-table hit path (TTG runners)")
 )
+
+// tuning assembles the scheduling knobs from the flags.
+func tuning() taskbench.Tuning {
+	return taskbench.Tuning{Priority: *flagPriority, InlineAuto: *flagInlineAuto, LockFreeHit: *flagLockFree}
+}
 
 // emitRecord prints one BENCH JSON record for a finished run.
 func emitRecord(name string, workers, ranks int, res taskbench.Result, spec taskbench.Spec, mx map[string]float64) {
@@ -61,6 +71,15 @@ func emitRecord(name string, workers, ranks int, res taskbench.Result, spec task
 	}
 	if *flagSteal {
 		rec.Config["steal"] = true
+	}
+	if *flagPriority {
+		rec.Config["priority"] = true
+	}
+	if *flagInlineAuto {
+		rec.Config["inline_auto"] = true
+	}
+	if *flagLockFree {
+		rec.Config["lockfree_ht"] = true
 	}
 	rec.Metrics = mx
 	if err := bench.WriteRecord(os.Stdout, rec); err != nil {
@@ -108,6 +127,7 @@ func main() {
 			KillAfterTasks: *flagKillAfter,
 			Pruning:        *flagPrune,
 			Steal:          *flagSteal,
+			Tune:           tuning(),
 		})
 		if *flagVerify && res.Checksum != want {
 			fmt.Fprintf(os.Stderr, "CHECKSUM MISMATCH (got %v want %v)\n", res.Checksum, want)
@@ -158,7 +178,7 @@ func main() {
 			// Stealing rides the metrics-enabled path so the steal counters
 			// land in the record.
 			var st taskbench.DistStats
-			res, st = taskbench.RunDistributedTTGSteal(spec, *flagRanks, *flagThreads, true)
+			res, st = taskbench.RunDistributedTTGTuned(spec, *flagRanks, *flagThreads, true, tuning())
 			mx = map[string]float64{
 				"comm.steal_reqs":   float64(st.StealReqs),
 				"comm.steals":       float64(st.Steals),
@@ -166,6 +186,8 @@ func main() {
 				"comm.steal_aborts": float64(st.StealAborts),
 			}
 			stealNote = fmt.Sprintf("  steals=%d (%d tasks)", st.Steals, st.StealTasks)
+		} else if *flagPriority || *flagInlineAuto {
+			res, _ = taskbench.RunDistributedTTGTuned(spec, *flagRanks, *flagThreads, false, tuning())
 		} else {
 			res = taskbench.RunDistributedTTG(spec, *flagRanks, *flagThreads)
 		}
@@ -184,6 +206,21 @@ func main() {
 		fmt.Printf("%-44s %10d tasks  %12v total  %10v/task%s%s\n",
 			fmt.Sprintf("TTG distributed (%d ranks)", *flagRanks), res.Tasks, res.Elapsed, res.PerTask(), status, stealNote)
 		return
+	}
+	if *flagPriority || *flagInlineAuto {
+		// Wire the scheduling knobs into the shared-memory TTG runners (the
+		// other contenders have no equivalent policy to toggle).
+		for i, r := range runners {
+			if tr, ok := r.(taskbench.TTGRunner); ok {
+				base := tr.Cfg
+				tr.Cfg = func(threads int) rt.Config {
+					c := base(threads)
+					tuning().Apply(&c)
+					return c
+				}
+				runners[i] = tr
+			}
+		}
 	}
 	matched := 0
 	for _, r := range runners {

@@ -72,6 +72,7 @@ func runNetChild(spec taskbench.Spec) {
 		Workers:      *flagThreads,
 		FT:           true,
 		Steal:        *flagSteal,
+		Tune:         tuning(),
 		SuspectAfter: time.Duration(*flagSuspectMS) * time.Millisecond,
 	}
 	if *flagNetKillRank == rank {
@@ -129,6 +130,9 @@ func runNetParent(spec taskbench.Spec, ranks int, verify bool, want float64) {
 			"-skew", fmt.Sprint(spec.Skew),
 			"-sleep-ns", fmt.Sprint(spec.SleepNs),
 			fmt.Sprintf("-steal=%v", *flagSteal),
+			fmt.Sprintf("-priority=%v", *flagPriority),
+			fmt.Sprintf("-inline-auto=%v", *flagInlineAuto),
+			fmt.Sprintf("-lockfree-ht=%v", *flagLockFree),
 			"-threads", fmt.Sprint(*flagThreads),
 			"-net-suspect-ms", fmt.Sprint(*flagSuspectMS),
 			"-net-kill-rank", fmt.Sprint(*flagNetKillRank),

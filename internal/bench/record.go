@@ -51,7 +51,51 @@ type Record struct {
 	Config      map[string]any     `json:"config,omitempty"` // harness-specific parameters
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 	Critpath    *CritPath          `json:"critpath,omitempty"` // causal critical-path analysis
+	METG        *METG              `json:"metg,omitempty"`     // Task-Bench efficiency-sweep summary
 	Env         EnvInfo            `json:"env"`
+}
+
+// METG embeds a Task-Bench efficiency-sweep summary in a record: the Minimum
+// Effective Task Granularity — the smallest flops-per-task whose per-core
+// flop rate stays at or above FracPct percent of the sweep's peak rate
+// (Task-Bench's METG(50%) when FracPct is 50). The record's Tasks/ElapsedNs
+// then describe the whole sweep, not a single granularity.
+type METG struct {
+	FracPct    float64 `json:"frac_pct"`              // efficiency threshold, percent
+	Flops      int     `json:"flops"`                 // METG in flops/task; -1 if no point qualified
+	PeakRate   float64 `json:"peak_rate"`             // peak per-core flops/sec of the sweep
+	SweepFlops []int   `json:"sweep_flops,omitempty"` // granularities swept
+}
+
+// validate checks the METG block's internal consistency.
+func (m *METG) validate() error {
+	if m.FracPct <= 0 || m.FracPct > 100 {
+		return fmt.Errorf("metg: frac_pct %v outside (0, 100]", m.FracPct)
+	}
+	if m.Flops < -1 || m.Flops == 0 {
+		return fmt.Errorf("metg: flops %d, want -1 (none) or a positive granularity", m.Flops)
+	}
+	if !finite(m.PeakRate) || m.PeakRate < 0 {
+		return fmt.Errorf("metg: peak_rate %v invalid", m.PeakRate)
+	}
+	for _, f := range m.SweepFlops {
+		if f < 1 {
+			return fmt.Errorf("metg: swept granularity %d < 1", f)
+		}
+	}
+	if m.Flops > 0 && len(m.SweepFlops) > 0 {
+		found := false
+		for _, f := range m.SweepFlops {
+			if f == m.Flops {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("metg: flops %d not among the swept granularities", m.Flops)
+		}
+	}
+	return nil
 }
 
 // CritPath embeds a critical-path analysis (obs/critpath) in a record: the
@@ -155,6 +199,11 @@ func (r Record) Validate() error {
 	}
 	if r.Critpath != nil {
 		if err := r.Critpath.validate(); err != nil {
+			return fmt.Errorf("bench: %s/%s: %v", r.Bench, r.Name, err)
+		}
+	}
+	if r.METG != nil {
+		if err := r.METG.validate(); err != nil {
 			return fmt.Errorf("bench: %s/%s: %v", r.Bench, r.Name, err)
 		}
 	}

@@ -108,7 +108,6 @@ func (g *Graph) discardTask(w *rt.Worker, t *rt.Task) {
 // re-insertion window closes and the loop converges.
 func (g *Graph) sweepTabled() {
 	sw := g.rtm.ServiceWorker(2)
-	slot := sw.HTSlot()
 	for {
 		select {
 		case <-g.rtm.Done():
@@ -121,23 +120,17 @@ func (g *Graph) sweepTabled() {
 				continue
 			}
 			for {
-				keys := ht.Keys(128)
-				if len(keys) == 0 {
+				// Drain unlinks a batch under the writer lock, so the sweep
+				// cannot race the lock-free reader fast path (FindFast never
+				// observes a half-removed entry).
+				sw.CountBucketLock()
+				ents := ht.Drain(128)
+				if len(ents) == 0 {
 					break
 				}
-				for _, k := range keys {
-					sw.CountBucketLock()
-					ht.LockKey(slot, k)
-					var t *rt.Task
-					if e := ht.NoLockFind(k); e != nil {
-						t = e.Val.(*rt.Task)
-						ht.NoLockRemove(k)
-					}
-					ht.UnlockKey(slot, k)
-					if t != nil {
-						g.discardTask(sw, t)
-						sw.Completed()
-					}
+				for _, e := range ents {
+					g.discardTask(sw, e.Val.(*rt.Task))
+					sw.Completed()
 				}
 			}
 		}

@@ -23,6 +23,11 @@ const actHeaderLen = 17
 const (
 	actFlagPayload = 1 << 0
 	actFlagSpan    = 1 << 1
+	// actFlagPrio appends the sender's 4-byte bottom-level priority estimate
+	// for the destination TT after the (optional) span id, so remote tasks
+	// keep their urgency across ranks. Set only when the sender runs the
+	// online priority estimator — the default wire stays byte-identical.
+	actFlagPrio = 1 << 2
 )
 
 // RegisterPayload registers a concrete payload type for cross-rank
@@ -36,9 +41,10 @@ func RegisterPayload(v any) { gob.Register(v) }
 // buffer (the frame ships when a flush rule fires; see comm/batch.go).
 // Entry format:
 //
-//	[1B flags][4B ttID][4B slot][8B key]([8B span])[1B codecID][payload bytes...]
+//	[1B flags][4B ttID][4B slot][8B key]([8B span])([4B prio])[1B codecID][payload bytes...]
 func (g *Graph) remoteSend(w *rt.Worker, tt *TT, slot int, key uint64, c *rt.Copy, owned bool) {
 	dstRank := tt.mapFn(key)
+	prio := g.prio
 	buf := g.proc.BatchBegin(dstRank)
 	var hdr [actHeaderLen]byte
 	if c != nil {
@@ -46,6 +52,9 @@ func (g *Graph) remoteSend(w *rt.Worker, tt *TT, slot int, key uint64, c *rt.Cop
 	}
 	if g.causal {
 		hdr[0] |= actFlagSpan
+	}
+	if prio != nil && prio.writePrio {
+		hdr[0] |= actFlagPrio
 	}
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(tt.id))
 	binary.LittleEndian.PutUint32(hdr[5:], uint32(slot))
@@ -56,6 +65,19 @@ func (g *Graph) remoteSend(w *rt.Worker, tt *TT, slot int, key uint64, c *rt.Cop
 		var span [8]byte
 		binary.LittleEndian.PutUint64(span[:], w.CauseCtx().SpanID)
 		buf = append(buf, span[:]...)
+	}
+	if hdr[0]&actFlagPrio != 0 {
+		// The sender's current estimate for the destination TT (its per-key
+		// priority function, when it has one, is evaluated receiver-side).
+		var p int32
+		if tt.prioFn != nil {
+			p = tt.prioFn(key)
+		} else {
+			p = prio.prioFor(tt)
+		}
+		var pb [4]byte
+		binary.LittleEndian.PutUint32(pb[:], uint32(p))
+		buf = append(buf, pb[:]...)
 	}
 	if c != nil {
 		var err error
@@ -100,6 +122,16 @@ func (g *Graph) handleActivation(src int, payload []byte) {
 		producerSpan = binary.LittleEndian.Uint64(body)
 		body = body[8:]
 	}
+	var wirePrio int32
+	hasPrio := flags&actFlagPrio != 0
+	if hasPrio {
+		if len(body) < 4 {
+			g.rtm.Abort(fmt.Errorf("ttg: malformed activation from rank %d: prio flag without priority", src))
+			return
+		}
+		wirePrio = int32(binary.LittleEndian.Uint32(body))
+		body = body[4:]
+	}
 	if int(ttID) >= len(g.tts) {
 		g.rtm.Abort(fmt.Errorf("ttg: activation from rank %d names unknown TT %d", src, ttID))
 		return
@@ -127,6 +159,13 @@ func (g *Graph) handleActivation(src int, payload []byte) {
 		// service identity does not inherit it.
 		cw.SetCauseCtx(rt.CauseCtx{SpanID: producerSpan, Rank: src, Frame: g.proc.DispatchFrameID()})
 		defer cw.SetCauseCtx(rt.CauseCtx{})
+	}
+	if ps := g.prio; ps != nil && hasPrio {
+		// The sender's urgency becomes the ambient hint for this delivery, so
+		// a task discovered here is created no less urgent than the sender
+		// believed it to be (the local estimate still wins when higher).
+		ps.setHint(cw, wirePrio)
+		defer ps.clearHint(cw)
 	}
 	g.deliver(cw, dest{tt: tt, slot: slot}, key, c, true)
 }

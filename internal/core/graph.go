@@ -63,6 +63,13 @@ type Graph struct {
 	// mx holds the graph-level sharded counters (nil when metrics are off);
 	// see EnableMetrics.
 	mx *graphMetrics
+
+	// prio is the online bottom-level estimator (nil unless AutoPriority or
+	// InlineAuto); fastHit/inlineAuto cache the per-delivery gates resolved
+	// by MakeExecutable.
+	prio       *prioState
+	fastHit    bool
+	inlineAuto bool
 }
 
 // graphMetrics are the discovery-path counters: hash-table lookups split by
@@ -146,6 +153,14 @@ func (g *Graph) NewTT(name string, nIn, nOut int, body Body) *TT {
 func (g *Graph) MakeExecutable() {
 	g.mustBeOpen()
 	g.frozen = true
+	if g.cfg.AutoPriority || g.cfg.InlineAuto {
+		g.prio = newPrioState(g)
+	}
+	g.inlineAuto = g.cfg.InlineAuto
+	// The lock-free hit path skips the bucket lock, under which causal
+	// tracing writes its span causes — so it is mutually exclusive with
+	// EnableCausalTracing.
+	g.fastHit = g.cfg.LockFreeHit && !g.causal
 	for _, tt := range g.tts {
 		tt.bypass = g.cfg.HTBypassSingleInput && tt.nIn == 1 && tt.slots[0].kind == slotPlain
 		if !tt.bypass {
@@ -359,6 +374,12 @@ func (g *Graph) EnableMetrics() *metrics.Registry {
 			codecGob:   reg.Counter("core.codec_gob"),
 		}
 		reg.Func("core.errors_suppressed", g.rtm.SuppressedErrors)
+		reg.Func("core.priority_updates", func() int64 {
+			if ps := g.prio; ps != nil {
+				return ps.updates.Load()
+			}
+			return 0
+		})
 		reg.Func("core.tasks_reexecuted", func() int64 {
 			if ft := g.ft; ft != nil {
 				return ft.reexec.Load()

@@ -409,7 +409,7 @@ func (s *stealState) onRankDead(dead int) {
 
 // Stolen-task record format (all little-endian):
 //
-//	[4B ttID][8B key][8B origin span id]
+//	[4B ttID][8B key][8B origin span id][4B priority]
 //	then one entry per input slot:
 //	  [1B stolenNil]                                    plain slot, no datum
 //	  [1B stolenPlain]  [4B len][self-contained bytes]  plain slot
@@ -418,11 +418,12 @@ func (s *stealState) onRankDead(dead int) {
 //	  [1B stolenStreamNil]                              empty accumulator
 //
 // The origin span id ties the thief-side span back to the victim for causal
-// tracing (0 when tracing is off). Payloads use the self-contained codec —
-// the same one the FT log uses — because the record crosses ranks and may be
-// re-injected at either end.
+// tracing (0 when tracing is off). The priority carries the victim's urgency
+// for the task, so stolen work keeps its critical-path position on the thief.
+// Payloads use the self-contained codec — the same one the FT log uses —
+// because the record crosses ranks and may be re-injected at either end.
 const (
-	stolenHdrLen = 20
+	stolenHdrLen = 24
 
 	stolenNil       = 0
 	stolenPlain     = 1
@@ -439,6 +440,7 @@ func (g *Graph) encodeStolenTask(t *rt.Task) ([]byte, error) {
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(tt.id))
 	binary.LittleEndian.PutUint64(hdr[4:], t.Key())
 	binary.LittleEndian.PutUint64(hdr[12:], t.SpanID())
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(t.Priority))
 	buf := append([]byte(nil), hdr[:]...)
 	var err error
 	for i := 0; i < tt.nIn; i++ {
@@ -516,6 +518,7 @@ func (g *Graph) injectStolenTask(w *rt.Worker, victim int, rec []byte) {
 	ttID := binary.LittleEndian.Uint32(rec[0:])
 	key := binary.LittleEndian.Uint64(rec[4:])
 	originSpan := binary.LittleEndian.Uint64(rec[12:])
+	wirePrio := int32(binary.LittleEndian.Uint32(rec[20:]))
 	if int(ttID) >= len(g.tts) {
 		fail("unknown TT")
 		return
@@ -528,6 +531,15 @@ func (g *Graph) injectStolenTask(w *rt.Worker, victim int, rec []byte) {
 	t.Exec = ttExecute
 	if tt.prioFn != nil {
 		t.Priority = tt.prioFn(key)
+	} else {
+		// A donated task keeps the urgency the victim gave it, raised to the
+		// local estimate when this rank runs the estimator too.
+		t.Priority = wirePrio
+		if ps := g.prio; ps != nil && ps.writePrio {
+			if p := ps.prioFor(tt); p > t.Priority {
+				t.Priority = p
+			}
+		}
 	}
 	body := rec[stolenHdrLen:]
 	next := func() (any, bool) {

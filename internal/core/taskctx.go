@@ -21,6 +21,11 @@ func (tc TaskContext) Key() uint64 { return tc.t.Key() }
 // TTName returns the template task's name.
 func (tc TaskContext) TTName() string { return tc.tt.name }
 
+// Priority returns the executing task's scheduling priority: the per-key
+// WithPriority value when the TT has one, otherwise the online bottom-level
+// estimate (Config.AutoPriority) or zero.
+func (tc TaskContext) Priority() int32 { return tc.t.Priority }
+
 // Worker exposes the executing worker (worker-local allocation, stats).
 func (tc TaskContext) Worker() *rt.Worker { return tc.w }
 

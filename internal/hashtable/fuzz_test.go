@@ -16,7 +16,7 @@ func FuzzOpsVsMap(f *testing.F) {
 			k := uint64(ops[i+1] % 64)
 			switch ops[i] % 3 {
 			case 0:
-				ins := tb.Insert(0, &Entry{Key: k, Val: k})
+				ins := tb.Insert(0, ent(k, k))
 				if ins == model[k] {
 					t.Fatalf("op %d: insert(%d) = %v but model has %v", i, k, ins, model[k])
 				}

@@ -21,6 +21,14 @@
 //     the baseline AtomicRW reproduces the contended behaviour of §III-C2,
 //     and the BRAVO wrapper the optimized zero-RMW fast path of §IV-D.
 //
+//   - On top of the locked protocol sits a wait-free fast path for the
+//     lookup-hit case (FindFast): each bucket carries a seqlock whose odd/even
+//     transitions bracket every chain mutation, and the chain links themselves
+//     are atomics, so a reader holding only the shared reader lock can walk
+//     the bucket and validate that no mutation raced the walk. Misses and
+//     contended walks fall back to the locked path; they are never decided
+//     lock-free unless provably authoritative.
+//
 // Keys are uint64 (already-hashed task IDs); values are arbitrary pointers
 // boxed in `any`.
 package hashtable
@@ -36,27 +44,82 @@ import (
 // (PaRSEC uses 16).
 const DefaultHighWaterMark = 16
 
+// fastFindMaxHops bounds the bucket walk a lock-free lookup will attempt
+// before declaring the bucket too deep and falling back to the locked path
+// (deep buckets are about to trigger a resize anyway).
+const fastFindMaxHops = 64
+
 // Entry is a chained hash-table node. Entries are exposed so callers can
-// embed per-task state next to Key/Val without a second allocation.
+// embed per-task state next to the key and Val without a second allocation.
+// The key and chain link are atomics because the FindFast path traverses
+// them without holding the bucket lock; Val is plain — fast-path readers
+// only dereference it after seqlock validation proves it was published
+// before the walk began.
 type Entry struct {
-	Key  uint64
+	key  atomic.Uint64
 	Val  any
-	next *Entry
+	next atomic.Pointer[Entry]
+}
+
+// Key returns the entry's key.
+func (e *Entry) Key() uint64 { return e.key.Load() }
+
+// SetKey sets the entry's key. Only legal while the entry is not resident in
+// a table (callers set the key before NoLockInsert).
+func (e *Entry) SetKey(k uint64) { e.key.Store(k) }
+
+// Reset zeroes the entry for reuse (pool recycling). Only legal while the
+// entry is not resident in a table.
+func (e *Entry) Reset() {
+	e.key.Store(0)
+	e.Val = nil
+	e.next.Store(nil)
 }
 
 type bucket struct {
 	lock xsync.SpinLock
-	_    [4]byte
-	head *Entry
+	// seq is the bucket's mutation sequence: odd while a chain mutation is
+	// in progress, even otherwise. Writers (serialized by the bucket lock)
+	// bump it around every head/next rewrite; FindFast readers snapshot it
+	// before walking and discard the verdict if it changed or was odd.
+	seq  atomic.Uint32
+	head atomic.Pointer[Entry]
 	fill int32 // entries chained here; maintained under lock
 	_    [xsync.CacheLineSize - 20]byte
+}
+
+// beginMutate/endMutate bracket a chain rewrite. Plain load+store is enough:
+// the bucket lock serializes writers, and atomic.Store gives the release
+// ordering FindFast's validation needs.
+func (b *bucket) beginMutate() { b.seq.Store(b.seq.Load() + 1) }
+func (b *bucket) endMutate()   { b.seq.Store(b.seq.Load() + 1) }
+
+// liveShards spreads the per-array residency gauge over independent cache
+// lines so the satisfy-dep hot path never serializes on one counter word.
+const liveShards = 8
+
+type liveCell struct {
+	n atomic.Int64
+	_ [xsync.CacheLineSize - 8]byte
 }
 
 type bucketArray struct {
 	mask    uint64 // len(buckets)-1
 	buckets []bucket
 	older   *bucketArray
-	live    atomic.Int64 // entries resident in THIS array
+	live    [liveShards]liveCell // entries resident in THIS array, sharded
+}
+
+func (a *bucketArray) liveAdd(key uint64, d int64) {
+	a.live[key&(liveShards-1)].n.Add(d)
+}
+
+func (a *bucketArray) liveSum() int64 {
+	var n int64
+	for i := range a.live {
+		n += a.live[i].n.Load()
+	}
+	return n
 }
 
 func newBucketArray(size int, older *bucketArray) *bucketArray {
@@ -144,6 +207,65 @@ func (t *Table) UnlockKey(slot int, key uint64) {
 	}
 }
 
+// RLockShared takes only the table-wide reader lock — the prerequisite for
+// FindFast and LockBucket. With the BRAVO wrapper this is the zero-RMW
+// visible-readers fast path.
+func (t *Table) RLockShared(slot int) { t.rw.RLock(slot) }
+
+// RUnlockShared releases RLockShared.
+func (t *Table) RUnlockShared(slot int) { t.rw.RUnlock(slot) }
+
+// LockBucket locks the key's main-array bucket. The caller must already hold
+// RLockShared (which pins the main array: growing requires the writer lock).
+func (t *Table) LockBucket(key uint64) {
+	t.main.Load().bucketFor(key).lock.Lock()
+}
+
+// UnlockBucket releases LockBucket.
+func (t *Table) UnlockBucket(key uint64) {
+	t.main.Load().bucketFor(key).lock.Unlock()
+}
+
+// FindFast is the wait-free lookup fast path for the hit case. The caller
+// must hold RLockShared for the duration of its use of the returned entry
+// and must guarantee the entry cannot be unlinked concurrently (in TTG the
+// caller holds an undelivered dependence of the tabled task, which keeps it
+// resident). ok=false means the lookup could not be decided lock-free — the
+// bucket mutated mid-walk, the walk was too deep, or the key may live in an
+// old array — and the caller must fall back to the locked path. ok=true with
+// a nil entry is an authoritative miss.
+func (t *Table) FindFast(key uint64) (*Entry, bool) {
+	a := t.main.Load()
+	b := a.bucketFor(key)
+	s := b.seq.Load()
+	if s&1 != 0 {
+		return nil, false // mutation in progress
+	}
+	var found *Entry
+	hops := 0
+	for e := b.head.Load(); e != nil; e = e.next.Load() {
+		if hops++; hops > fastFindMaxHops {
+			return nil, false
+		}
+		if e.key.Load() == key {
+			found = e
+			break
+		}
+	}
+	if b.seq.Load() != s {
+		return nil, false // a mutation raced the walk: verdict unreliable
+	}
+	if found == nil {
+		// A miss in the main array is authoritative only when no old array
+		// could still hold the key.
+		if a.older != nil {
+			return nil, false
+		}
+		return nil, true
+	}
+	return found, true
+}
+
 // NoLockFind returns the entry for key, or nil. The caller must hold the
 // key's bucket via LockKey. A hit in an old array is migrated into the main
 // array (still under the caller's bucket lock, which covers the key in the
@@ -151,8 +273,8 @@ func (t *Table) UnlockKey(slot int, key uint64) {
 func (t *Table) NoLockFind(key uint64) *Entry {
 	a := t.main.Load()
 	mb := a.bucketFor(key)
-	for e := mb.head; e != nil; e = e.next {
-		if e.Key == key {
+	for e := mb.head.Load(); e != nil; e = e.next.Load() {
+		if e.key.Load() == key {
 			return e
 		}
 	}
@@ -161,20 +283,24 @@ func (t *Table) NoLockFind(key uint64) *Entry {
 		ob := old.bucketFor(key)
 		ob.lock.Lock()
 		var prev *Entry
-		for e := ob.head; e != nil; prev, e = e, e.next {
-			if e.Key == key {
+		for e := ob.head.Load(); e != nil; prev, e = e, e.next.Load() {
+			if e.key.Load() == key {
+				ob.beginMutate()
 				if prev == nil {
-					ob.head = e.next
+					ob.head.Store(e.next.Load())
 				} else {
-					prev.next = e.next
+					prev.next.Store(e.next.Load())
 				}
+				ob.endMutate()
 				ob.fill--
-				old.live.Add(-1)
+				old.liveAdd(key, -1)
 				ob.lock.Unlock()
-				e.next = mb.head
-				mb.head = e
+				mb.beginMutate()
+				e.next.Store(mb.head.Load())
+				mb.head.Store(e)
+				mb.endMutate()
 				mb.fill++
-				a.live.Add(1)
+				a.liveAdd(key, 1)
 				t.migrations.Add(1)
 				return e
 			}
@@ -184,33 +310,38 @@ func (t *Table) NoLockFind(key uint64) *Entry {
 	return nil
 }
 
-// NoLockInsert inserts the entry (caller must hold LockKey for e.Key and
+// NoLockInsert inserts the entry (caller must hold LockKey for e.Key() and
 // must have verified the key is absent).
 func (t *Table) NoLockInsert(e *Entry) {
 	a := t.main.Load()
-	b := a.bucketFor(e.Key)
-	e.next = b.head
-	b.head = e
+	key := e.key.Load()
+	b := a.bucketFor(key)
+	e.next.Store(b.head.Load())
+	b.beginMutate()
+	b.head.Store(e)
+	b.endMutate()
 	b.fill++
-	a.live.Add(1)
+	a.liveAdd(key, 1)
 }
 
 // NoLockRemove removes and returns the entry for key, or nil if absent.
-// Caller must hold LockKey for key.
+// Caller must hold LockKey (or RLockShared+LockBucket) for key.
 func (t *Table) NoLockRemove(key uint64) *Entry {
 	a := t.main.Load()
 	b := a.bucketFor(key)
 	var prev *Entry
-	for e := b.head; e != nil; prev, e = e, e.next {
-		if e.Key == key {
+	for e := b.head.Load(); e != nil; prev, e = e, e.next.Load() {
+		if e.key.Load() == key {
+			b.beginMutate()
 			if prev == nil {
-				b.head = e.next
+				b.head.Store(e.next.Load())
 			} else {
-				prev.next = e.next
+				prev.next.Store(e.next.Load())
 			}
+			b.endMutate()
 			b.fill--
-			a.live.Add(-1)
-			e.next = nil
+			a.liveAdd(key, -1)
+			e.next.Store(nil)
 			return e
 		}
 	}
@@ -238,7 +369,7 @@ func (t *Table) grow(from *bucketArray) {
 func (t *Table) pruneLocked() {
 	a := t.main.Load()
 	for a.older != nil {
-		if a.older.live.Load() == 0 {
+		if a.older.liveSum() == 0 {
 			a.older = a.older.older
 		} else {
 			a = a.older
@@ -249,13 +380,14 @@ func (t *Table) pruneLocked() {
 // Insert is a convenience: lock, insert-if-absent, unlock. It reports whether
 // the entry was inserted (false if the key already existed).
 func (t *Table) Insert(slot int, e *Entry) bool {
-	t.LockKey(slot, e.Key)
-	if t.NoLockFind(e.Key) != nil {
-		t.UnlockKey(slot, e.Key)
+	key := e.key.Load()
+	t.LockKey(slot, key)
+	if t.NoLockFind(key) != nil {
+		t.UnlockKey(slot, key)
 		return false
 	}
 	t.NoLockInsert(e)
-	t.UnlockKey(slot, e.Key)
+	t.UnlockKey(slot, key)
 	return true
 }
 
@@ -281,7 +413,7 @@ func (t *Table) Remove(slot int, key uint64) *Entry {
 func (t *Table) Len() int {
 	var n int64
 	for a := t.main.Load(); a != nil; a = a.older {
-		n += a.live.Load()
+		n += a.liveSum()
 	}
 	return int(n)
 }
@@ -318,8 +450,40 @@ func (t *Table) Keys(limit int) []uint64 {
 	var out []uint64
 	for a := t.main.Load(); a != nil; a = a.older {
 		for i := range a.buckets {
-			for e := a.buckets[i].head; e != nil; e = e.next {
-				out = append(out, e.Key)
+			for e := a.buckets[i].head.Load(); e != nil; e = e.next.Load() {
+				out = append(out, e.key.Load())
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Drain unlinks and returns up to limit resident entries (limit <= 0 means
+// all), oldest arrays last. It holds the table-wide writer lock for the
+// duration, excluding every locked operation AND every FindFast reader (who
+// hold the reader lock) — which is what makes it safe for an abort sweeper
+// to free the returned entries while other threads may still be running the
+// wait-free lookup path.
+func (t *Table) Drain(limit int) []*Entry {
+	t.rw.Lock()
+	defer t.rw.Unlock()
+	var out []*Entry
+	for a := t.main.Load(); a != nil; a = a.older {
+		for i := range a.buckets {
+			b := &a.buckets[i]
+			for {
+				e := b.head.Load()
+				if e == nil {
+					break
+				}
+				b.head.Store(e.next.Load())
+				b.fill--
+				a.liveAdd(e.key.Load(), -1)
+				e.next.Store(nil)
+				out = append(out, e)
 				if limit > 0 && len(out) >= limit {
 					return out
 				}

@@ -10,6 +10,14 @@ import (
 	"gottg/internal/rwlock"
 )
 
+// ent builds an Entry with the key set through the accessor (the Key field
+// became atomic when the FindFast path was added).
+func ent(k uint64, v any) *Entry {
+	e := &Entry{Val: v}
+	e.SetKey(k)
+	return e
+}
+
 func TestBucketCacheLineSized(t *testing.T) {
 	if s := unsafe.Sizeof(bucket{}); s != 64 {
 		t.Fatalf("bucket size = %d, want 64", s)
@@ -19,7 +27,7 @@ func TestBucketCacheLineSized(t *testing.T) {
 func TestInsertFindRemove(t *testing.T) {
 	tb := New(Options{InitialSize: 8})
 	for i := uint64(0); i < 100; i++ {
-		if !tb.Insert(0, &Entry{Key: i, Val: int(i)}) {
+		if !tb.Insert(0, ent(i, int(i))) {
 			t.Fatalf("insert %d failed", i)
 		}
 	}
@@ -50,10 +58,10 @@ func TestInsertFindRemove(t *testing.T) {
 
 func TestDuplicateInsertRejected(t *testing.T) {
 	tb := New(Options{})
-	if !tb.Insert(0, &Entry{Key: 7, Val: "a"}) {
+	if !tb.Insert(0, ent(7, "a")) {
 		t.Fatal("first insert failed")
 	}
-	if tb.Insert(0, &Entry{Key: 7, Val: "b"}) {
+	if tb.Insert(0, ent(7, "b")) {
 		t.Fatal("duplicate insert succeeded")
 	}
 	if got := tb.Find(0, 7).Val.(string); got != "a" {
@@ -65,7 +73,7 @@ func TestGrowthAndOldTableMigration(t *testing.T) {
 	tb := New(Options{InitialSize: 2, HighWaterMark: 4})
 	const n = 4096
 	for i := uint64(0); i < n; i++ {
-		tb.Insert(0, &Entry{Key: i, Val: i})
+		tb.Insert(0, ent(i, i))
 	}
 	if tb.Resizes() == 0 {
 		t.Fatal("table never grew despite heavy fill")
@@ -91,7 +99,7 @@ func TestGrowthAndOldTableMigration(t *testing.T) {
 	}
 	// Force one more grow cycle so pruneLocked runs with empty old arrays.
 	for i := uint64(0); i < 512; i++ {
-		tb.Insert(0, &Entry{Key: i + 1_000_000, Val: i})
+		tb.Insert(0, ent(i+1_000_000, i))
 	}
 	for i := uint64(0); i < 512; i++ {
 		tb.Remove(0, i+1_000_000)
@@ -101,7 +109,7 @@ func TestGrowthAndOldTableMigration(t *testing.T) {
 func TestRemoveFromOldArrayDirectly(t *testing.T) {
 	tb := New(Options{InitialSize: 2, HighWaterMark: 2})
 	for i := uint64(0); i < 256; i++ {
-		tb.Insert(0, &Entry{Key: i, Val: i})
+		tb.Insert(0, ent(i, i))
 	}
 	// Remove keys without a prior Find: NoLockRemove must reach into old
 	// arrays via the migration path.
@@ -128,7 +136,7 @@ func concurrentHammer(t *testing.T, lock rwlock.RW) {
 			base := uint64(slot) << 32
 			for i := uint64(0); i < perWorker; i++ {
 				k := base | i
-				tb.Insert(slot, &Entry{Key: k, Val: k})
+				tb.Insert(slot, ent(k, k))
 				if e := tb.Find(slot, k); e == nil || e.Val.(uint64) != k {
 					t.Errorf("worker %d lost key %d", slot, i)
 					return
@@ -164,7 +172,7 @@ func TestLockKeyProtocol(t *testing.T) {
 	if tb.NoLockFind(42) != nil {
 		t.Fatal("phantom entry")
 	}
-	tb.NoLockInsert(&Entry{Key: 42, Val: "pending"})
+	tb.NoLockInsert(ent(42, "pending"))
 	tb.UnlockKey(0, 42)
 
 	tb.LockKey(0, 42)
@@ -192,7 +200,7 @@ func TestQuickVsMapModel(t *testing.T) {
 			k := uint64(o.Key % 512)
 			switch o.Kind % 3 {
 			case 0:
-				ins := tb.Insert(0, &Entry{Key: k, Val: k})
+				ins := tb.Insert(0, ent(k, k))
 				if ins == model[k] { // must insert iff absent from model
 					return false
 				}
@@ -219,11 +227,11 @@ func TestQuickVsMapModel(t *testing.T) {
 
 func BenchmarkHTInsertRemove(b *testing.B) {
 	tb := New(Options{})
-	e := &Entry{Key: 1}
+	e := ent(1, nil)
 	for i := 0; i < b.N; i++ {
-		e.Key = uint64(i)
+		e.SetKey(uint64(i))
 		tb.Insert(0, e)
-		tb.Remove(0, e.Key)
+		tb.Remove(0, uint64(i))
 	}
 }
 
@@ -232,7 +240,7 @@ func BenchmarkHTLookupHit(b *testing.B) {
 	keys := make([]uint64, 1024)
 	for i := range keys {
 		keys[i] = rand.Uint64()
-		tb.Insert(0, &Entry{Key: keys[i]})
+		tb.Insert(0, ent(keys[i], nil))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -252,7 +260,7 @@ func TestConcurrentGrowthUnderChurn(t *testing.T) {
 			defer wg.Done()
 			base := uint64(slot) << 40
 			for i := uint64(0); i < per; i++ {
-				tb.Insert(slot, &Entry{Key: base | i, Val: i})
+				tb.Insert(slot, ent(base|i, i))
 				if i >= 64 {
 					if tb.Remove(slot, base|(i-64)) == nil {
 						t.Errorf("slot %d lost key %d", slot, i-64)
@@ -278,7 +286,7 @@ func TestConcurrentGrowthUnderChurn(t *testing.T) {
 	}
 	before := tb.Depth()
 	for i := uint64(0); i < 200; i++ {
-		tb.Insert(0, &Entry{Key: 1<<50 | i})
+		tb.Insert(0, ent(1<<50|i, nil))
 	}
 	if tb.Depth() > before+2 {
 		t.Fatalf("chain depth %d did not prune (was %d)", tb.Depth(), before)
@@ -289,7 +297,7 @@ func TestKeysSnapshot(t *testing.T) {
 	tb := New(Options{InitialSize: 2, HighWaterMark: 2})
 	want := map[uint64]bool{}
 	for i := uint64(0); i < 100; i++ {
-		tb.Insert(0, &Entry{Key: i})
+		tb.Insert(0, ent(i, nil))
 		want[i] = true
 	}
 	keys := tb.Keys(0)
@@ -322,7 +330,7 @@ func TestKeysConcurrentWithResizes(t *testing.T) {
 					return
 				default:
 				}
-				tb.Insert(slot, &Entry{Key: base | i})
+				tb.Insert(slot, ent(base|i, nil))
 				if i >= 32 {
 					tb.Remove(slot, base|(i-32))
 				}

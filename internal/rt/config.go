@@ -88,6 +88,29 @@ type Config struct {
 	// scan their own domain before foreign domains. 0 disables domains
 	// (flat stealing).
 	StealDomainSize int
+	// AutoPriority lets the graph layer write online bottom-level estimates
+	// into Task.Priority at ready time, so priority-aware schedulers order
+	// tasks by critical-path depth instead of discovery order.
+	AutoPriority bool
+	// InlineAuto replaces the static InlineTasks switch with an adaptive
+	// policy: a just-readied consumer is inlined at the discovery site only
+	// when the producing template task's observed body time is below
+	// InlineThresholdNs AND the local queue is non-empty (so siblings are
+	// never starved), bounded by InlineBudget per outer task.
+	InlineAuto bool
+	// InlineThresholdNs is the producer body-time ceiling for adaptive
+	// inlining (default 3000ns ≈ the paper's "very short task" regime).
+	InlineThresholdNs int64
+	// InlineBudget bounds how many consumers one outer task may inline
+	// (default 32) so a hub task cannot monopolize its worker.
+	InlineBudget int
+	// LFQBufCap sizes the LFQ per-worker bounded buffer (default 4,
+	// PaRSEC's local flat queue depth).
+	LFQBufCap int
+	// LockFreeHit enables the wait-free discovery-table fast path for the
+	// lookup-hit case: the steady-state satisfy-dep path validates a seqlock
+	// instead of taking the bucket spinlock.
+	LockFreeHit bool
 }
 
 // Normalize fills in defaults and returns the receiver for chaining.
@@ -100,6 +123,15 @@ func (c Config) Normalize() Config {
 	}
 	if c.MaxInlineDepth <= 0 {
 		c.MaxInlineDepth = 8
+	}
+	if c.InlineThresholdNs <= 0 {
+		c.InlineThresholdNs = 3000
+	}
+	if c.InlineBudget <= 0 {
+		c.InlineBudget = 32
+	}
+	if c.LFQBufCap <= 0 {
+		c.LFQBufCap = 4
 	}
 	return c
 }

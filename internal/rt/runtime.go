@@ -95,7 +95,7 @@ func New(cfg Config) *Runtime {
 		w.copies.owner = w
 		r.service[i] = w
 	}
-	r.sched = newScheduler(cfg.Sched, r.workers)
+	r.sched = newScheduler(cfg, r.workers)
 	return r
 }
 

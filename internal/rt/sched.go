@@ -24,6 +24,10 @@ type scheduler interface {
 	// extract a donation slice; w supplies accounting identity and may be a
 	// service worker. Safe concurrently with worker Pop/Steal.
 	DrainReady(w *Worker) (*Task, int)
+	// LocalNonEmpty reports (lock-free, approximately) whether worker wid
+	// would find work without stealing — the adaptive-inline policy's
+	// "don't starve siblings" probe.
+	LocalNonEmpty(wid int) bool
 	// Name identifies the scheduler in output.
 	Name() string
 }
@@ -67,10 +71,10 @@ func stealOrder(w *Worker, n int, buf []int) []int {
 	return buf
 }
 
-func newScheduler(kind SchedKind, workers []*Worker) scheduler {
-	switch kind {
+func newScheduler(cfg Config, workers []*Worker) scheduler {
+	switch cfg.Sched {
 	case SchedLFQ:
-		return newLFQ(workers)
+		return newLFQ(workers, cfg.LFQBufCap)
 	case SchedLL:
 		return newLLP(workers, false)
 	default:

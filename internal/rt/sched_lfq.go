@@ -1,22 +1,106 @@
 package rt
 
 import (
+	"sync/atomic"
+
 	"gottg/internal/xsync"
 )
 
-// lfqBufSize is the per-worker bounded-buffer capacity of the LFQ scheduler.
-// PaRSEC sizes these small (a handful of slots); overflow goes to the shared
-// FIFO, which is precisely what makes LFQ collapse under task pressure
-// (paper §V-C: "the vast majority of tasks end up in the overflow FIFO").
+// lfqBufSize is the default per-worker bounded-buffer capacity of the LFQ
+// scheduler (Config.LFQBufCap overrides it). PaRSEC sizes these small (a
+// handful of slots); overflow goes to the shared FIFO, which is precisely
+// what makes LFQ collapse under task pressure (paper §V-C: "the vast
+// majority of tasks end up in the overflow FIFO").
 const lfqBufSize = 4
 
-// lfqBuf is a worker's bounded buffer: a tiny array of task slots protected
-// by a spinlock (stealing requires cross-thread access, so even local
-// operations must lock).
+// lfqBuf is a worker's bounded buffer: a small max-heap of task slots
+// ordered by Priority, protected by a spinlock (stealing requires
+// cross-thread access, so even local operations must lock). The heap
+// replaces the original full-buffer linear scans: pop is O(log cap) and
+// insertion O(log cap); only the eviction path (buffer full, overflow
+// decision) scans, and then only the heap's leaves. n mirrors the occupancy
+// as an atomic so the adaptive-inline policy can probe emptiness without
+// touching the lock.
 type lfqBuf struct {
 	lock  xsync.SpinLock
-	slots [lfqBufSize]*Task
-	_     [xsync.CacheLineSize - 4 - lfqBufSize*8]byte
+	n     atomic.Int32
+	slots []*Task // max-heap by Priority: slots[0] is the best
+	_     [xsync.CacheLineSize - 32]byte
+}
+
+// heapPush inserts t, sifting up. Caller holds the lock and has checked
+// capacity.
+func (b *lfqBuf) heapPush(t *Task) {
+	b.slots = append(b.slots, t)
+	b.siftUp(len(b.slots) - 1)
+}
+
+func (b *lfqBuf) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if b.slots[p].Priority >= b.slots[i].Priority {
+			break
+		}
+		b.slots[p], b.slots[i] = b.slots[i], b.slots[p]
+		i = p
+	}
+}
+
+// heapPop removes and returns the highest-priority task, or nil.
+func (b *lfqBuf) heapPop() *Task {
+	n := len(b.slots)
+	if n == 0 {
+		return nil
+	}
+	t := b.slots[0]
+	last := b.slots[n-1]
+	b.slots[n-1] = nil
+	b.slots = b.slots[:n-1]
+	if n > 1 {
+		b.slots[0] = last
+		b.siftDown(0)
+	}
+	return t
+}
+
+func (b *lfqBuf) siftDown(i int) {
+	n := len(b.slots)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && b.slots[l].Priority > b.slots[m].Priority {
+			m = l
+		}
+		if r < n && b.slots[r].Priority > b.slots[m].Priority {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		b.slots[i], b.slots[m] = b.slots[m], b.slots[i]
+		i = m
+	}
+}
+
+// evictMin swaps t for the buffer's minimum-priority task when t beats it,
+// returning the task that must overflow to the global FIFO (t itself when it
+// does not qualify). The minimum of a max-heap lives among the leaves, so
+// only those are scanned.
+func (b *lfqBuf) evictMin(t *Task) *Task {
+	n := len(b.slots)
+	min := n / 2
+	for i := n/2 + 1; i < n; i++ {
+		if b.slots[i].Priority < b.slots[min].Priority {
+			min = i
+		}
+	}
+	if t.Priority <= b.slots[min].Priority {
+		return t
+	}
+	out := b.slots[min]
+	b.slots[min] = t
+	b.siftUp(min)
+	return out
 }
 
 // lfq is PaRSEC's local-flat-queues scheduler (§III-B): per-worker bounded
@@ -26,14 +110,23 @@ type lfqBuf struct {
 type lfq struct {
 	bufs []lfqBuf
 	ws   []*Worker
+	cap  int
 
 	glock xsync.SpinLock
 	ghead *Task
 	gtail *Task
+	gsize atomic.Int32
 }
 
-func newLFQ(workers []*Worker) *lfq {
-	return &lfq{bufs: make([]lfqBuf, len(workers)), ws: workers}
+func newLFQ(workers []*Worker, bufCap int) *lfq {
+	if bufCap <= 0 {
+		bufCap = lfqBufSize
+	}
+	s := &lfq{bufs: make([]lfqBuf, len(workers)), ws: workers, cap: bufCap}
+	for i := range s.bufs {
+		s.bufs[i].slots = make([]*Task, 0, bufCap)
+	}
+	return s
 }
 
 // Push implements scheduler: keep the highest-priority tasks in the local
@@ -43,24 +136,14 @@ func (s *lfq) Push(wid int, t *Task) {
 	b := &s.bufs[wid]
 	b.lock.Lock()
 	w.countAtomic(&w.Atomics.Sched)
-	// Free slot?
-	for i := range b.slots {
-		if b.slots[i] == nil {
-			b.slots[i] = t
-			b.lock.Unlock()
-			return
-		}
+	if len(b.slots) < s.cap {
+		b.heapPush(t)
+		b.n.Store(int32(len(b.slots)))
+		b.lock.Unlock()
+		return
 	}
 	// Full: evict the minimum-priority task if t beats it.
-	min := 0
-	for i := 1; i < lfqBufSize; i++ {
-		if b.slots[i].Priority < b.slots[min].Priority {
-			min = i
-		}
-	}
-	if t.Priority > b.slots[min].Priority {
-		t, b.slots[min] = b.slots[min], t
-	}
+	t = b.evictMin(t)
 	b.lock.Unlock()
 	s.pushGlobal(w, t)
 }
@@ -85,6 +168,7 @@ func (s *lfq) pushGlobal(w *Worker, t *Task) {
 		s.gtail.next = t
 		s.gtail = t
 	}
+	s.gsize.Add(1)
 	s.glock.Unlock()
 }
 
@@ -98,6 +182,7 @@ func (s *lfq) popGlobal(w *Worker) *Task {
 			s.gtail = nil
 		}
 		t.next = nil
+		s.gsize.Add(-1)
 	}
 	s.glock.Unlock()
 	return t
@@ -109,17 +194,8 @@ func (s *lfq) popBuf(w *Worker, b *lfqBuf) *Task {
 		return nil // busy: caller falls through to other sources
 	}
 	w.countAtomic(&w.Atomics.Sched)
-	best := -1
-	for i := range b.slots {
-		if b.slots[i] != nil && (best < 0 || b.slots[i].Priority > b.slots[best].Priority) {
-			best = i
-		}
-	}
-	var t *Task
-	if best >= 0 {
-		t = b.slots[best]
-		b.slots[best] = nil
-	}
+	t := b.heapPop()
+	b.n.Store(int32(len(b.slots)))
 	b.lock.Unlock()
 	return t
 }
@@ -130,17 +206,8 @@ func (s *lfq) Pop(wid int) *Task {
 	b := &s.bufs[wid]
 	b.lock.Lock()
 	w.countAtomic(&w.Atomics.Sched)
-	best := -1
-	for i := range b.slots {
-		if b.slots[i] != nil && (best < 0 || b.slots[i].Priority > b.slots[best].Priority) {
-			best = i
-		}
-	}
-	var t *Task
-	if best >= 0 {
-		t = b.slots[best]
-		b.slots[best] = nil
-	}
+	t := b.heapPop()
+	b.n.Store(int32(len(b.slots)))
 	b.lock.Unlock()
 	if t != nil {
 		return t
@@ -173,14 +240,16 @@ func (s *lfq) DrainReady(w *Worker) (*Task, int) {
 		b := &s.bufs[i]
 		b.lock.Lock()
 		w.countAtomic(&w.Atomics.Sched)
-		for j := range b.slots {
-			if t := b.slots[j]; t != nil {
-				b.slots[j] = nil
-				t.next = nil
-				all = insertSorted(all, t)
-				n++
+		for {
+			t := b.heapPop()
+			if t == nil {
+				break
 			}
+			t.next = nil
+			all = insertSorted(all, t)
+			n++
 		}
+		b.n.Store(0)
 		b.lock.Unlock()
 	}
 	for {
@@ -192,6 +261,12 @@ func (s *lfq) DrainReady(w *Worker) (*Task, int) {
 		n++
 	}
 	return all, n
+}
+
+// LocalNonEmpty implements scheduler: a lock-free probe of worker wid's
+// visible work (its bounded buffer or the shared FIFO).
+func (s *lfq) LocalNonEmpty(wid int) bool {
+	return s.bufs[wid].n.Load() > 0 || s.gsize.Load() > 0
 }
 
 // Name implements scheduler.

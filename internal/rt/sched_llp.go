@@ -253,6 +253,12 @@ func (s *llp) DrainReady(w *Worker) (*Task, int) {
 	return all, n
 }
 
+// LocalNonEmpty implements scheduler: one atomic load of the worker's own
+// queue head.
+func (s *llp) LocalNonEmpty(wid int) bool {
+	return s.queues[wid].head.Load() != nil
+}
+
 // Name implements scheduler.
 func (s *llp) Name() string {
 	if s.prio {

@@ -23,7 +23,7 @@ type ExecFn func(w *Worker, t *Task)
 type Task struct {
 	next *Task // intrusive link: scheduler queues and pool free lists
 
-	// Entry is the task's discovery-hash-table linkage; Entry.Key is the
+	// Entry is the task's discovery-hash-table linkage; Entry's key is the
 	// task key, Entry.Val points back to the Task while tabled.
 	Entry hashtable.Entry
 
@@ -58,10 +58,10 @@ type Task struct {
 }
 
 // Key returns the task's key.
-func (t *Task) Key() uint64 { return t.Entry.Key }
+func (t *Task) Key() uint64 { return t.Entry.Key() }
 
 // SetKey sets the task's key.
-func (t *Task) SetKey(k uint64) { t.Entry.Key = k }
+func (t *Task) SetKey(k uint64) { t.Entry.SetKey(k) }
 
 // SetNumInputs declares how many input slots the task uses.
 func (t *Task) SetNumInputs(n int) {
@@ -111,7 +111,7 @@ func (t *Task) Deps() int32 { return t.deps.Load() }
 // reset clears a task for reuse, keeping capacity.
 func (t *Task) reset() {
 	t.next = nil
-	t.Entry = hashtable.Entry{}
+	t.Entry.Reset()
 	t.Exec = nil
 	t.TT = nil
 	t.Priority = 0

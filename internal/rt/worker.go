@@ -92,6 +92,16 @@ type Worker struct {
 	inlineDepth int
 	victims     []int // scratch for steal-order scans
 
+	// inlineBudget is the remaining adaptive-inline allowance of the
+	// currently executing outer task (reset by execute).
+	inlineBudget int
+
+	// loadBuf is the worker's combining buffer for the runtime's advertised
+	// ready-depth counter: deltas accumulate worker-locally and flush to the
+	// shared atomic in batches (or before idling), keeping the gauge off the
+	// per-task fast path.
+	loadBuf int64
+
 	// Causal-tracing state: spanSeq allocates span ids, causeCtx is the
 	// ambient producer context frontends set around deliveries (see
 	// SetCauseCtx). Both owner-goroutine only.
@@ -129,6 +139,58 @@ func (w *Worker) CountBucketLock() {
 		if !w.rt.cfg.BiasedRWLock {
 			w.Atomics.RWLock += 2
 		}
+	}
+}
+
+// CountReadLock accounts the reader-lock RMWs of a lock-free hash-table hit
+// (no bucket lock taken; zero RMWs under the BRAVO bias).
+func (w *Worker) CountReadLock() {
+	if w.count && !w.rt.cfg.BiasedRWLock {
+		w.Atomics.RWLock += 2
+	}
+}
+
+// CountBucketOnly accounts a bucket-lock acquisition taken while the reader
+// lock is already held (the lock-free hit path's final-removal case).
+func (w *Worker) CountBucketOnly() {
+	if w.count {
+		w.Atomics.Bucket++
+	}
+}
+
+// loadFlushDelta is the combining threshold: how much net ready-depth delta
+// a worker accumulates before flushing to the shared counter.
+const loadFlushDelta = 16
+
+// loadAdd buffers a ready-depth delta (no-op when load tracking is off;
+// service workers flush directly — their deltas come from the comm thread,
+// which may not loop back to a flush point promptly).
+func (w *Worker) loadAdd(n int64) {
+	r := w.rt
+	if !r.loadTrack {
+		return
+	}
+	if w.ID < 0 {
+		r.ready.Add(n)
+		return
+	}
+	w.loadBuf += n
+	if w.loadBuf >= loadFlushDelta || w.loadBuf <= -loadFlushDelta {
+		w.flushLoad()
+	}
+}
+
+// flushLoad publishes the buffered ready-depth delta to the shared counter.
+// Called on threshold, before idling, and at worker exit, so the advertised
+// depth can under- or over-shoot by at most loadFlushDelta per busy worker.
+func (w *Worker) flushLoad() {
+	if w.loadBuf == 0 {
+		return
+	}
+	w.rt.ready.Add(w.loadBuf)
+	w.loadBuf = 0
+	if m := w.mx; m != nil {
+		m.loadFlush.Inc(w.htSlot)
 	}
 }
 
@@ -209,7 +271,7 @@ func (w *Worker) Schedule(t *Task) {
 		w.rt.Inject(t)
 		return
 	}
-	w.rt.loadInc(1)
+	w.loadAdd(1)
 	w.rt.sched.Push(w.ID, t)
 }
 
@@ -227,7 +289,7 @@ func (w *Worker) ScheduleChain(head *Task, n int) {
 		}
 		return
 	}
-	w.rt.loadInc(int64(n))
+	w.loadAdd(int64(n))
 	w.rt.sched.PushChain(w.ID, head, n)
 }
 
@@ -273,6 +335,7 @@ func (w *Worker) run() {
 		runtime.LockOSThread()
 		defer runtime.UnlockOSThread()
 	}
+	defer w.flushLoad()
 	for {
 		t := w.findTask()
 		if t != nil {
@@ -290,6 +353,7 @@ func (w *Worker) run() {
 		if f := rt.idleHook; f != nil {
 			f()
 		}
+		w.flushLoad() // publish buffered deltas before advertising idleness
 		rt.Det.EnterIdle(w.ID)
 		spins := 0
 		for {
@@ -330,6 +394,7 @@ func (w *Worker) execute(t *Task) {
 		w.rt.discard(w, t)
 		return
 	}
+	w.inlineBudget = w.rt.cfg.InlineBudget
 	m := w.mx
 	sampled := m != nil && w.sampleTick()
 	if w.rt.trace != nil || sampled {
@@ -408,14 +473,9 @@ func (w *Worker) FlushDeferred() {
 	w.ScheduleChain(SortChain(head), n)
 }
 
-// TryInline executes an eligible task immediately on this worker if task
-// inlining is enabled and the nesting budget allows, reporting whether it
-// ran. Service workers never inline (they must not execute task bodies).
-func (w *Worker) TryInline(t *Task) bool {
-	if !w.rt.cfg.InlineTasks || w.ID < 0 || w.inlineDepth >= w.rt.cfg.MaxInlineDepth {
-		return false
-	}
-	w.inlineDepth++
+// inlineInvoke runs a task at the discovery site with the same trace/sample
+// bookkeeping as execute (shared by the static and adaptive inline paths).
+func (w *Worker) inlineInvoke(t *Task) {
 	m := w.mx
 	sampled := m != nil && w.sampleTick()
 	if w.rt.trace != nil || sampled {
@@ -432,10 +492,50 @@ func (w *Worker) TryInline(t *Task) bool {
 	} else {
 		w.invoke(t)
 	}
-	if m != nil {
+	w.Stats.Inlined.Add(1)
+}
+
+// TryInline executes an eligible task immediately on this worker if task
+// inlining is enabled and the nesting budget allows, reporting whether it
+// ran. Service workers never inline (they must not execute task bodies).
+func (w *Worker) TryInline(t *Task) bool {
+	if !w.rt.cfg.InlineTasks || w.ID < 0 || w.inlineDepth >= w.rt.cfg.MaxInlineDepth {
+		return false
+	}
+	w.inlineDepth++
+	w.inlineInvoke(t)
+	if m := w.mx; m != nil {
 		m.inlined.Inc(w.htSlot)
 	}
-	w.Stats.Inlined.Add(1)
+	w.inlineDepth--
+	return true
+}
+
+// TryInlineAuto is the adaptive-inline execution step: it runs t at the
+// discovery site only when other work remains visible without stealing —
+// this worker's local queue or the shared injector is non-empty, so
+// siblings keep a runnable successor and inlining cannot starve them —
+// within the nesting bound and the per-outer-task budget. solo marks t the
+// sole consumer a chain-link producer can dispatch (template out-degree 1),
+// which waives the occupancy gate: with nothing else visible, t would be
+// this worker's next pop anyway, so the round-trip is pure overhead. The
+// producer-cost gate (body time below Config.InlineThresholdNs) is the
+// caller's job — the graph layer holds the template-task observations.
+func (w *Worker) TryInlineAuto(t *Task, solo bool) bool {
+	r := w.rt
+	if !r.cfg.InlineAuto || w.ID < 0 ||
+		w.inlineDepth >= r.cfg.MaxInlineDepth || w.inlineBudget <= 0 {
+		return false
+	}
+	if !solo && !r.sched.LocalNonEmpty(w.ID) && r.inject.size.Load() == 0 {
+		return false
+	}
+	w.inlineBudget--
+	w.inlineDepth++
+	w.inlineInvoke(t)
+	if m := w.mx; m != nil {
+		m.inlinedAuto.Inc(w.htSlot)
+	}
 	w.inlineDepth--
 	return true
 }
@@ -449,21 +549,21 @@ func (w *Worker) findTask() *Task {
 		if m := w.mx; m != nil {
 			m.schedPop.Inc(w.htSlot)
 		}
-		w.rt.loadDec()
+		w.loadAdd(-1)
 		return t
 	}
 	if t := w.rt.inject.pop(); t != nil {
 		if m := w.mx; m != nil {
 			m.schedInject.Inc(w.htSlot)
 		}
-		w.rt.loadDec()
+		w.loadAdd(-1)
 		return t
 	}
 	if t := w.rt.sched.Steal(w.ID); t != nil {
 		if m := w.mx; m != nil {
 			m.schedSteal.Inc(w.htSlot)
 		}
-		w.rt.loadDec()
+		w.loadAdd(-1)
 		return t
 	}
 	return nil

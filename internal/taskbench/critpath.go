@@ -41,6 +41,15 @@ func RunDistributedTTGTraced(s Spec, ranks, workersPerRank int) TracedDist {
 // that assembled their inputs, so critical-path analysis and the Chrome flow
 // arrows stay truthful under migration. Also returns the steal counters.
 func RunDistributedTTGTracedSteal(s Spec, ranks, workersPerRank int, steal bool) (TracedDist, DistStats) {
+	return RunDistributedTTGTracedTuned(s, ranks, workersPerRank, steal, Tuning{})
+}
+
+// RunDistributedTTGTracedTuned is RunDistributedTTGTracedSteal with the
+// critical-path scheduling knobs applied on every rank. Note that causal
+// tracing forces the locked discovery-table path (span causes are recorded
+// under the bucket lock), so Tuning.LockFreeHit has no effect here — use the
+// untraced runners to measure it.
+func RunDistributedTTGTracedTuned(s Spec, ranks, workersPerRank int, steal bool, tn Tuning) (TracedDist, DistStats) {
 	if ranks > s.Width {
 		ranks = s.Width
 	}
@@ -66,6 +75,7 @@ func RunDistributedTTGTracedSteal(s Spec, ranks, workersPerRank int, steal bool)
 		cfg := rt.OptimizedConfig(workersPerRank)
 		cfg.PinWorkers = false
 		cfg.CountAtomics = true
+		tn.Apply(&cfg)
 		graphs[r] = core.NewDistributed(cfg, world.Proc(r))
 		graphs[r].EnableCausalTracing()
 		if steal && ranks > 1 {

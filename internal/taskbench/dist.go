@@ -34,6 +34,26 @@ type DistStats struct {
 	StealAborts int64
 }
 
+// Tuning selects the critical-path scheduling knobs for the TTG runners
+// (Config.AutoPriority / InlineAuto / LockFreeHit), so harnesses can run
+// paired off/on comparisons on otherwise identical paths.
+type Tuning struct {
+	Priority    bool  // online bottom-level priorities (Config.AutoPriority)
+	InlineAuto  bool  // adaptive inline policy (Config.InlineAuto)
+	LockFreeHit bool  // wait-free discovery-table hit path (Config.LockFreeHit)
+	InlineNs    int64 // producer body-time ceiling override (0 = Config default)
+}
+
+// Apply writes the knobs into a runtime config.
+func (tn Tuning) Apply(cfg *rt.Config) {
+	cfg.AutoPriority = tn.Priority
+	cfg.InlineAuto = tn.InlineAuto
+	cfg.LockFreeHit = tn.LockFreeHit
+	if tn.InlineNs > 0 {
+		cfg.InlineThresholdNs = tn.InlineNs
+	}
+}
+
 // RunDistributedTTG executes the Task-Bench spec over `ranks` simulated
 // processes with `workersPerRank` workers each, block-partitioning the
 // points. This is the paper's seamless shared→distributed claim applied to
@@ -44,7 +64,7 @@ type DistStats struct {
 // Returns the global checksum (bit-identical to Spec.Reference) and the
 // wall-clock time.
 func RunDistributedTTG(s Spec, ranks, workersPerRank int) Result {
-	res, _ := runDistributedTTG(s, ranks, workersPerRank, false, false)
+	res, _ := runDistributedTTG(s, ranks, workersPerRank, false, false, Tuning{})
 	return res
 }
 
@@ -52,16 +72,22 @@ func RunDistributedTTG(s Spec, ranks, workersPerRank int) Result {
 // additionally reporting the wire-level message statistics (frames,
 // activations carried, coalescing factor, messages/sec).
 func RunDistributedTTGStats(s Spec, ranks, workersPerRank int) (Result, DistStats) {
-	return runDistributedTTG(s, ranks, workersPerRank, true, false)
+	return runDistributedTTG(s, ranks, workersPerRank, true, false, Tuning{})
 }
 
 // RunDistributedTTGSteal is RunDistributedTTGStats with inter-rank work
 // stealing switched on (or off, for a paired comparison on the same path).
 func RunDistributedTTGSteal(s Spec, ranks, workersPerRank int, steal bool) (Result, DistStats) {
-	return runDistributedTTG(s, ranks, workersPerRank, true, steal)
+	return runDistributedTTG(s, ranks, workersPerRank, true, steal, Tuning{})
 }
 
-func runDistributedTTG(s Spec, ranks, workersPerRank int, withStats, steal bool) (Result, DistStats) {
+// RunDistributedTTGTuned is RunDistributedTTGSteal with the critical-path
+// scheduling knobs applied on every rank.
+func RunDistributedTTGTuned(s Spec, ranks, workersPerRank int, steal bool, tn Tuning) (Result, DistStats) {
+	return runDistributedTTG(s, ranks, workersPerRank, true, steal, tn)
+}
+
+func runDistributedTTG(s Spec, ranks, workersPerRank int, withStats, steal bool, tn Tuning) (Result, DistStats) {
 	if ranks > s.Width {
 		ranks = s.Width
 	}
@@ -93,6 +119,7 @@ func runDistributedTTG(s Spec, ranks, workersPerRank int, withStats, steal bool)
 	for r := 0; r < ranks; r++ {
 		cfg := rt.OptimizedConfig(workersPerRank)
 		cfg.PinWorkers = false
+		tn.Apply(&cfg)
 		graphs[r] = core.NewDistributed(cfg, world.Proc(r))
 		if steal && ranks > 1 {
 			graphs[r].EnableWorkStealing()

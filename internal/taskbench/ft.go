@@ -81,6 +81,9 @@ type FTOptions struct {
 	// commit, since fault tolerance is on).
 	Steal bool
 
+	// Tune applies the critical-path scheduling knobs on every rank.
+	Tune Tuning
+
 	// Failure-detection tuning (zero values take the comm defaults).
 	Heartbeat    time.Duration
 	SuspectAfter time.Duration
@@ -149,6 +152,7 @@ func RunDistributedTTGFT(s Spec, o FTOptions) (Result, FTReport) {
 		cfg := rt.OptimizedConfig(o.Workers)
 		cfg.PinWorkers = false
 		cfg.Sched = o.Sched
+		o.Tune.Apply(&cfg)
 		graphs[r] = core.NewDistributed(cfg, world.Proc(r))
 		graphs[r].EnableFaultTolerance()
 		if o.Pruning {

@@ -40,6 +40,9 @@ type NetOptions struct {
 	// Steal enables inter-rank work stealing (two-phase commit when FT is
 	// also on; requires FT when failure detection runs).
 	Steal bool
+	// Tune applies the critical-path scheduling knobs (online priorities,
+	// adaptive inlining, lock-free discovery hits) on this rank.
+	Tune Tuning
 	// Heartbeat and SuspectAfter tune failure detection (zero = defaults).
 	Heartbeat    time.Duration
 	SuspectAfter time.Duration
@@ -123,6 +126,7 @@ func RunDistributedTTGRank(s Spec, tr comm.Transport, o NetOptions) (NetRankResu
 	cfg := rt.OptimizedConfig(o.Workers)
 	cfg.PinWorkers = false
 	cfg.Sched = o.Sched
+	o.Tune.Apply(&cfg)
 	g := core.NewDistributed(cfg, world.Proc(self))
 	if o.FT {
 		g.EnableFaultTolerance()
