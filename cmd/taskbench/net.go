@@ -36,6 +36,11 @@ var (
 	flagFaultConnKill = flag.Float64("net-fault-connkill", 0, "per-frame probability of killing the connection")
 	flagFaultTorn     = flag.Float64("net-fault-torn", 0, "per-frame probability of a torn write")
 	flagFaultPart     = flag.Float64("net-fault-partition", 0, "per-frame probability of starting a partition episode")
+
+	flagTelemetry    = flag.Bool("telemetry", false, "with -net: enable the cluster telemetry plane (per-rank sampling streamed to rank 0)")
+	flagTelemetryInt = flag.Duration("telemetry-interval", 250*time.Millisecond, "with -telemetry: sampling interval")
+	flagObs          = flag.String("obs", "", "with -telemetry: rank 0 serves /cluster.json and rank-labelled /metrics on this address")
+	flagFlightDir    = flag.String("flight-dir", "", "with -telemetry: directory for flight-recorder dumps (default: working dir)")
 )
 
 const netResultMarker = "GOTTG_NET_RESULT "
@@ -69,11 +74,15 @@ func runNetChild(spec taskbench.Spec) {
 		os.Exit(1)
 	}
 	o := taskbench.NetOptions{
-		Workers:      *flagThreads,
-		FT:           true,
-		Steal:        *flagSteal,
-		Tune:         tuning(),
-		SuspectAfter: time.Duration(*flagSuspectMS) * time.Millisecond,
+		Workers:           *flagThreads,
+		FT:                true,
+		Steal:             *flagSteal,
+		Tune:              tuning(),
+		SuspectAfter:      time.Duration(*flagSuspectMS) * time.Millisecond,
+		Telemetry:         *flagTelemetry,
+		TelemetryInterval: *flagTelemetryInt,
+		ObsAddr:           *flagObs, // the runner only binds it on rank 0
+		FlightDir:         *flagFlightDir,
 	}
 	if *flagNetKillRank == rank {
 		o.KillAfterTasks = *flagNetKillAfter
@@ -141,6 +150,10 @@ func runNetParent(spec taskbench.Spec, ranks int, verify bool, want float64) {
 			"-net-fault-connkill", fmt.Sprint(*flagFaultConnKill),
 			"-net-fault-torn", fmt.Sprint(*flagFaultTorn),
 			"-net-fault-partition", fmt.Sprint(*flagFaultPart),
+			fmt.Sprintf("-telemetry=%v", *flagTelemetry),
+			"-telemetry-interval", flagTelemetryInt.String(),
+			"-obs", *flagObs,
+			"-flight-dir", *flagFlightDir,
 		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stdout = &outs[r]
@@ -206,6 +219,8 @@ func runNetParent(spec taskbench.Spec, ranks int, verify bool, want float64) {
 
 	var reconnects, deaths, waveRestarts, reexecuted int64
 	var stealReqs, steals, stealTasks, stealAborts int64
+	var tmSamples, tmFrames int64
+	var tmCoverage, tmEvents int
 	for _, r := range results {
 		reconnects += r.Reconnects
 		reexecuted += r.Reexecuted
@@ -213,6 +228,12 @@ func runNetParent(spec taskbench.Spec, ranks int, verify bool, want float64) {
 		steals += r.Steals
 		stealTasks += r.StealTasks
 		stealAborts += r.StealAborts
+		tmSamples += r.TelemetrySamples
+		tmFrames += r.TelemetryFrames
+		if r.Rank == 0 {
+			tmCoverage = r.TelemetryCoverage
+			tmEvents = r.TelemetryEvents
+		}
 		if r.Deaths > deaths {
 			deaths = r.Deaths
 		}
@@ -233,6 +254,12 @@ func runNetParent(spec taskbench.Spec, ranks int, verify bool, want float64) {
 			mx["comm.steal_tasks"] = float64(stealTasks)
 			mx["comm.steal_aborts"] = float64(stealAborts)
 		}
+		if *flagTelemetry {
+			mx["telemetry.samples"] = float64(tmSamples)
+			mx["telemetry.frames"] = float64(tmFrames)
+			mx["telemetry.coverage"] = float64(tmCoverage)
+			mx["telemetry.events"] = float64(tmEvents)
+		}
 		emitRecord("TTG dist tcp multiproc", *flagThreads, ranks, res, spec, mx)
 		return
 	}
@@ -247,5 +274,9 @@ func runNetParent(spec taskbench.Spec, ranks int, verify bool, want float64) {
 	if *flagSteal {
 		fmt.Printf("  steals=%d steal_tasks=%d steal_reqs=%d steal_aborts=%d\n",
 			steals, stealTasks, stealReqs, stealAborts)
+	}
+	if *flagTelemetry {
+		fmt.Printf("  telemetry: coverage=%d/%d samples=%d frames=%d events=%d\n",
+			tmCoverage, ranks, tmSamples, tmFrames, tmEvents)
 	}
 }

@@ -11,6 +11,8 @@
 //	ttg-bench [-json] metg             # METG(50%) granularity sweep off vs on, BENCH records
 //	ttg-bench [-json] steal            # work-stealing matrix (balanced/skewed x off/on), BENCH records
 //	ttg-bench [-json] [-trace f] critpath  # causal critical-path profile (docs/OBSERVABILITY.md)
+//	ttg-bench [-json] telemetry        # telemetry-plane overhead A/B, BENCH records
+//	ttg-bench [-url u] [-refresh d] [-count n] top  # live per-rank cluster table from /cluster.json
 //	ttg-bench chaos                    # fail-stop recovery demo (docs/ROBUSTNESS.md)
 //	ttg-bench validate [files...]      # validate BENCH record streams
 //
@@ -86,7 +88,7 @@ func (c *ctx) measurableThreads(list []int) []int {
 func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: ttg-bench [flags] fig1|fig2|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|model|chaos|all|bench|sched|metg|steal|critpath|validate [files...]")
+		fmt.Fprintln(os.Stderr, "usage: ttg-bench [flags] fig1|fig2|fig5|fig6a|fig6b|fig7|fig8|fig9|fig10|fig11|fig12|model|chaos|all|bench|sched|metg|steal|critpath|telemetry|top|validate [files...]")
 		os.Exit(2)
 	}
 	spin.SetClockGHz(*flagGHz)
@@ -120,6 +122,10 @@ func main() {
 			figSteal(c)
 		case "critpath":
 			cmdCritpath(c)
+		case "telemetry":
+			cmdTelemetry(c)
+		case "top":
+			cmdTop(c)
 		case "validate":
 			// Remaining arguments are record files, not figure names.
 			cmdValidate(args[i+1:])

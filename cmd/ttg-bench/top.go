@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"gottg/internal/obs/telemetry"
+)
+
+var (
+	flagTopURL     = flag.String("url", "http://127.0.0.1:9970", "top: base URL of a running taskbench -obs endpoint")
+	flagTopRefresh = flag.Duration("refresh", time.Second, "top: refresh period")
+	flagTopCount   = flag.Int("count", 0, "top: frames to render before exiting (0 = until the endpoint goes away; 1 = one-shot for CI)")
+)
+
+// cmdTop is the live cluster viewer: it polls /cluster.json from a running
+// `taskbench -net -telemetry -obs <addr>` job and renders a refreshing
+// per-rank table (task rate, pending queue, steals, retransmits, wire rate)
+// plus the tail of the detector event log. With -count 1 it renders one
+// frame and exits, which is how the CI smoke job asserts coverage.
+func cmdTop(c *ctx) {
+	client := &http.Client{Timeout: 2 * time.Second}
+	url := *flagTopURL + "/cluster.json"
+	connected := false
+	frames := 0
+	// Tolerate a not-yet-listening endpoint briefly; once connected, treat a
+	// vanished endpoint as "the run finished" and exit cleanly.
+	notReadyUntil := time.Now().Add(10 * time.Second)
+	for {
+		cv, err := fetchCluster(client, url)
+		if err != nil {
+			if connected {
+				fmt.Printf("# endpoint gone (%v); run finished\n", err)
+				return
+			}
+			if time.Now().After(notReadyUntil) {
+				fmt.Fprintf(os.Stderr, "top: %s unreachable: %v\n", url, err)
+				os.Exit(1)
+			}
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		connected = true
+		frames++
+		if *flagTopCount != 1 && frames > 1 {
+			fmt.Print("\x1b[H\x1b[2J") // redraw in place when refreshing
+		}
+		renderTop(cv)
+		if *flagTopCount > 0 && frames >= *flagTopCount {
+			return
+		}
+		time.Sleep(*flagTopRefresh)
+	}
+}
+
+func fetchCluster(client *http.Client, url string) (telemetry.ClusterView, error) {
+	var cv telemetry.ClusterView
+	resp, err := client.Get(url)
+	if err != nil {
+		return cv, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return cv, fmt.Errorf("status %s", resp.Status)
+	}
+	return cv, json.NewDecoder(resp.Body).Decode(&cv)
+}
+
+// lastInterval returns the most recent interval of a rank's series (nil for
+// a silent rank).
+func lastInterval(rv *telemetry.RankView) *telemetry.IntervalView {
+	if len(rv.Intervals) == 0 {
+		return nil
+	}
+	return &rv.Intervals[len(rv.Intervals)-1]
+}
+
+// perSecond scales an interval delta to a 1/s rate.
+func perSecond(iv *telemetry.IntervalView, name string) float64 {
+	if iv == nil || iv.DtNs <= 0 {
+		return 0
+	}
+	return iv.Deltas[name] / (float64(iv.DtNs) / 1e9)
+}
+
+func renderTop(cv telemetry.ClusterView) {
+	fmt.Printf("gottg cluster  ranks=%d  epoch=%d  merged tasks=%.0f\n",
+		cv.Size, cv.Epoch, cv.Merged["rt.task.executed"])
+	fmt.Printf("%-5s %-6s %9s %12s %9s %9s %9s %10s\n",
+		"RANK", "STATE", "INTERVALS", "TASK/S", "PENDING", "STEALS", "RETRANS", "WIRE-KB/S")
+	for i := range cv.PerRank {
+		rv := &cv.PerRank[i]
+		state := "up"
+		if rv.Dead {
+			state = "dead"
+		} else if rv.LastSeq == 0 {
+			state = "silent"
+		}
+		iv := lastInterval(rv)
+		var pending float64
+		if iv != nil {
+			pending = iv.Deltas["termdet.pending"] // gauges render as levels
+		}
+		wire := (perSecond(iv, "comm.bytes.sent") + perSecond(iv, "comm.bytes.recvd")) / 1024
+		fmt.Printf("%-5d %-6s %9d %12.0f %9.0f %9.0f %9.0f %10.1f\n",
+			rv.Rank, state, rv.LastSeq,
+			perSecond(iv, "rt.task.executed"), pending,
+			rv.Totals["comm.steals"], rv.Totals["comm.retransmits"], wire)
+	}
+	if len(cv.EventCounts) > 0 {
+		kinds := make([]string, 0, len(cv.EventCounts))
+		for k := range cv.EventCounts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Print("events:")
+		for _, k := range kinds {
+			fmt.Printf("  %s=%d", k, cv.EventCounts[k])
+		}
+		fmt.Println()
+	}
+	tail := cv.Events
+	if len(tail) > 5 {
+		tail = tail[len(tail)-5:]
+	}
+	for _, e := range tail {
+		fmt.Printf("  [%s] rank %d  %s\n", e.Kind, e.Rank, e.Msg)
+	}
+}

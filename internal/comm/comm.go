@@ -42,6 +42,7 @@ const (
 	tagRankDead  = -7 // coordinator -> all: rank a confirmed dead, epoch ep
 	tagPrune     = -8 // receiver -> sender: a app messages dispatched; replay log prefix is durable
 	// -9 .. -13 are the work-stealing control tags; see steal.go.
+	tagTelemetry = -14 // telemetry plane: metric interval frame (never sequenced, wave-exempt)
 )
 
 // Handler processes an application-level active message on the destination
@@ -251,6 +252,7 @@ type Proc struct {
 	onRankDead  func(dead, epoch int)  // progress goroutine, after membership update
 	onKilled    func()                 // any goroutine, when this rank is fail-stopped
 	onPrune     func(src int, n int64) // progress goroutine: src dispatched n of our app sends
+	telemetryH  func(src int, payload []byte)
 
 	// Link-layer state. sendLinks is indexed by destination and guarded by
 	// its per-link mutex (Send may be called from any goroutine); recvLinks
@@ -367,6 +369,47 @@ func (p *Proc) SetOnKilled(f func()) { p.onKilled = f }
 // advertises how many of our application sends it has dispatched, making the
 // corresponding replay-log prefix prunable. Must be called before Start.
 func (p *Proc) SetOnPrune(f func(src int, n int64)) { p.onPrune = f }
+
+// SetTelemetryHandler installs the receiver for telemetry frames shipped via
+// SendTelemetry (the cluster metric plane's aggregation sink, normally only
+// installed on rank 0). The handler runs on the progress goroutine and must
+// stay cheap. Must be called before Start.
+func (p *Proc) SetTelemetryHandler(h func(src int, payload []byte)) { p.telemetryH = h }
+
+// SendTelemetry ships one telemetry frame to rank dst. Telemetry is
+// deliberately outside every guarantee the data plane pays for: frames are
+// unsequenced (no retransmit state, no Drain involvement — like heartbeats),
+// uncounted by the termination wave (a run must terminate identically with
+// telemetry on or off), and best-effort (a frame lost to a fault plan or a
+// down connection is simply a missing interval; the stream carries cumulative
+// values, so the next frame covers the gap). Under a duplicating fault plan a
+// frame can arrive twice — receivers deduplicate by frame sequence number.
+// Traffic to or from a confirmed-dead rank is dropped. Ownership of payload
+// passes with the call. Safe from any goroutine.
+func (p *Proc) SendTelemetry(dst int, payload []byte) {
+	w := p.world
+	if w.closed.Load() {
+		return
+	}
+	if w.deadWire != nil && (w.deadWire[p.rank].Load() || w.deadWire[dst].Load()) {
+		return
+	}
+	if m := w.mx; m != nil {
+		m.telemetryFrames.Inc(p.rank)
+		m.telemetryBytes.Add(p.rank, uint64(len(payload)))
+	}
+	if w.net == nil {
+		// In-process world: hand the frame straight to the destination's
+		// handler. The mailbox path would lose post-termination flushes (the
+		// non-reliable progress goroutine exits at the wave), and drawing
+		// from the shared fault RNG would perturb seeded chaos runs.
+		if h := w.procs[dst].telemetryH; h != nil {
+			h(p.rank, payload)
+		}
+		return
+	}
+	w.transmit(dst, message{src: p.rank, tag: tagTelemetry, payload: payload})
+}
 
 // EnablePruneNotices makes this rank advertise, at each local quiescence with
 // an empty retransmit queue, how many application messages it has dispatched
@@ -708,6 +751,12 @@ func (p *Proc) dispatch(m message) bool {
 	case tagPrune:
 		if p.onPrune != nil {
 			p.onPrune(m.src, m.a)
+		}
+	case tagTelemetry:
+		// Wave-exempt like heartbeats: the frame is observability traffic,
+		// not work, and must not perturb the termination protocol.
+		if p.telemetryH != nil {
+			p.telemetryH(m.src, m.payload)
 		}
 	// Steal control: each handler performs its forward action (next protocol
 	// message, local re-queue, or injection with its Discovered accounting)

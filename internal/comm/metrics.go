@@ -30,6 +30,9 @@ type commMetrics struct {
 	faultDup     *metrics.Counter // transmissions duplicated
 	faultDelay   *metrics.Counter // transmissions delayed
 	faultReorder *metrics.Counter // transmissions held back to reorder
+
+	telemetryFrames *metrics.Counter // telemetry-plane frames shipped
+	telemetryBytes  *metrics.Counter // telemetry-plane payload bytes shipped
 }
 
 // EnableMetrics switches on wire metrics: one registry sharded per rank,
@@ -63,6 +66,9 @@ func (w *World) EnableMetrics() *metrics.Registry {
 		faultDup:      reg.Counter("comm.fault.duplicated"),
 		faultDelay:    reg.Counter("comm.fault.delayed"),
 		faultReorder:  reg.Counter("comm.fault.reordered"),
+
+		telemetryFrames: reg.Counter("comm.telemetry.frames"),
+		telemetryBytes:  reg.Counter("comm.telemetry.bytes"),
 	}
 	reg.Func("comm.rounds", func() int64 {
 		// In a network world only the local rank exists; rounds are a

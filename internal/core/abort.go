@@ -54,6 +54,7 @@ func (g *Graph) Aborting() bool { return g.rtm.Aborting() }
 // onAbort runs exactly once, on the first Abort (local or via panic
 // isolation): propagate to the other ranks and start the sweeper.
 func (g *Graph) onAbort(err error) {
+	g.event("abort", g.rank, err.Error())
 	if g.size > 1 {
 		g.proc.Abort(err.Error())
 	}

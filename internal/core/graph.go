@@ -70,6 +70,10 @@ type Graph struct {
 	prio       *prioState
 	fastHit    bool
 	inlineAuto bool
+
+	// eventH is the lifecycle event hook (events.go); atomic so it can be
+	// installed mid-run and read from worker and comm goroutines.
+	eventH atomic.Pointer[EventHook]
 }
 
 // graphMetrics are the discovery-path counters: hash-table lookups split by

@@ -193,6 +193,7 @@ func (g *Graph) EnableFaultTolerance() {
 	// must not observe a half-recovered keymap. The closure checks g.steal at
 	// call time — EnableWorkStealing may legally follow EnableFaultTolerance.
 	g.proc.SetOnRankDead(func(dead, epoch int) {
+		g.event("rank_dead", dead, epochDetail(epoch))
 		if s := g.steal; s != nil {
 			s.onRankDead(dead)
 		}
@@ -251,6 +252,7 @@ func (g *Graph) RecoveryStats() (reexecuted, remapped, pruned int64) {
 // normally signals termination is being torn down — a poller signals done
 // once the drain reaches quiescence, so the harness's Wait returns.
 func (g *Graph) killLocal() {
+	g.event("killed", g.rank, "fail-stop")
 	g.rtm.Abort(ErrRankKilled)
 	go func() {
 		for !g.rtm.Terminated() {

@@ -218,6 +218,7 @@ func (s *stealState) pickVictim() (victim, want int) {
 func (g *Graph) stealDone(victim int, ok bool) {
 	s := g.steal
 	if ok {
+		g.event("steal", victim, "tasks migrated")
 		s.backoff.Store(0)
 		s.nextProbe.Store(0)
 	} else {

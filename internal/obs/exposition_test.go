@@ -1,0 +1,343 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"gottg/internal/metrics"
+)
+
+func TestWritePrometheusHelpLines(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# HELP comm_msgs_sent application messages sent\n") {
+		t.Fatalf("known metric lacks its HELP text:\n%s", out)
+	}
+	if !strings.Contains(out, "# HELP _9lives gottg metric 9lives\n") {
+		t.Fatalf("unknown metric lacks the fallback HELP line:\n%s", out)
+	}
+	// Every TYPE line must be immediately preceded by its HELP line.
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, "# TYPE ") {
+			name := strings.Fields(l)[2]
+			if i == 0 || !strings.HasPrefix(lines[i-1], "# HELP "+name+" ") {
+				t.Fatalf("TYPE for %s not preceded by HELP:\n%s", name, out)
+			}
+		}
+	}
+}
+
+func TestWritePrometheusLabeled(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheusLabeled(&b, sampleSnapshot(), map[string]string{"rank": "3"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`comm_msgs_sent{rank="3"} 2`,
+		`_9lives{rank="3"} -3`,
+		`rt_task_ns_bucket{rank="3",le="1"} 1`,
+		`rt_task_ns_bucket{rank="3",le="+Inf"} 2`,
+		`rt_task_ns_sum{rank="3"} 7`,
+		`rt_task_ns_count{rank="3"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("labelled exposition missing %q:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE headers stay label-free.
+	if strings.Contains(out, `# TYPE comm_msgs_sent{`) {
+		t.Fatalf("TYPE line carries labels:\n%s", out)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	snap := sampleSnapshot()
+	labels := map[string]string{"rank": "1", "job": "bench"}
+	var first string
+	for i := 0; i < 20; i++ {
+		var b strings.Builder
+		if err := WritePrometheusLabeled(&b, snap, labels); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = b.String()
+		} else if b.String() != first {
+			t.Fatal("exposition output is not deterministic across calls")
+		}
+	}
+	if !strings.Contains(first, `{job="bench",rank="1"}`) {
+		t.Fatalf("labels not sorted by key:\n%s", first)
+	}
+}
+
+func TestWriteClusterPrometheus(t *testing.T) {
+	mk := func(sent uint64, pend int64) metrics.Snapshot {
+		return metrics.Snapshot{
+			Counters: map[string]uint64{"comm.msgs.sent": sent},
+			Gauges:   map[string]int64{"termdet.pending": pend},
+		}
+	}
+	perRank := map[int]metrics.Snapshot{
+		2: mk(20, 2),
+		0: mk(5, 0),
+		1: mk(10, 1),
+	}
+	// Rank 2 additionally reports a metric the others lack.
+	perRank[2].Counters["comm.retransmits"] = 7
+
+	var b strings.Builder
+	if err := WriteClusterPrometheus(&b, perRank); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if c := strings.Count(out, "# TYPE comm_msgs_sent counter"); c != 1 {
+		t.Fatalf("family header appears %d times, want 1:\n%s", c, out)
+	}
+	for _, want := range []string{
+		`comm_msgs_sent{rank="0"} 5`,
+		`comm_msgs_sent{rank="1"} 10`,
+		`comm_msgs_sent{rank="2"} 20`,
+		`termdet_pending{rank="1"} 1`,
+		`comm_retransmits{rank="2"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cluster exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Series within a family are sorted by rank.
+	if strings.Index(out, `comm_msgs_sent{rank="0"}`) > strings.Index(out, `comm_msgs_sent{rank="2"}`) {
+		t.Fatalf("rank series not ascending:\n%s", out)
+	}
+}
+
+// parseExposition is a minimal text-format parser: it returns every sample
+// line as "name{labels}" → value, ignoring comments.
+func parseExposition(t *testing.T, s string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, line := range strings.Split(s, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("sample %q has non-numeric value: %v", line, err)
+		}
+		if _, dup := out[key]; dup {
+			t.Fatalf("duplicate series %q", key)
+		}
+		out[key] = v
+	}
+	return out
+}
+
+func TestPrometheusParseRoundTrip(t *testing.T) {
+	snap := sampleSnapshot()
+	var b strings.Builder
+	if err := WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, b.String())
+	if samples["comm_msgs_sent"] != 2 {
+		t.Fatalf("counter round-trip: %v", samples)
+	}
+	if samples["_9lives"] != -3 {
+		t.Fatalf("gauge round-trip: %v", samples)
+	}
+	if samples["rt_task_ns_count"] != 2 || samples["rt_task_ns_sum"] != 7 {
+		t.Fatalf("histogram round-trip: %v", samples)
+	}
+	// Cumulative buckets are monotone and end at the count.
+	var les []string
+	for k := range samples {
+		if strings.HasPrefix(k, "rt_task_ns_bucket{") {
+			les = append(les, k)
+		}
+	}
+	sort.Slice(les, func(i, j int) bool { return samples[les[i]] < samples[les[j]] })
+	prev := -1.0
+	for _, k := range les {
+		if samples[k] < prev {
+			t.Fatalf("bucket %q not cumulative", k)
+		}
+		prev = samples[k]
+	}
+	if prev != samples["rt_task_ns_count"] {
+		t.Fatalf("last bucket %v != count %v", prev, samples["rt_task_ns_count"])
+	}
+}
+
+func TestMergeEmptySnapshots(t *testing.T) {
+	m := Merge()
+	if len(m.Counters)+len(m.Gauges)+len(m.Histograms) != 0 {
+		t.Fatalf("Merge() not empty: %+v", m)
+	}
+	m = Merge(metrics.Snapshot{}, metrics.Snapshot{})
+	if len(m.Counters) != 0 {
+		t.Fatalf("merging zero snapshots produced counters: %+v", m)
+	}
+	base := metrics.Snapshot{Counters: map[string]uint64{"x": 4}}
+	m = Merge(metrics.Snapshot{}, base, metrics.Snapshot{})
+	if m.Counters["x"] != 4 {
+		t.Fatalf("empty snapshots perturbed the merge: %+v", m)
+	}
+}
+
+func TestMergeHistogramBuckets(t *testing.T) {
+	mkHist := func(vals ...uint64) metrics.HistSnapshot {
+		var h metrics.HistSnapshot
+		for _, v := range vals {
+			// replicate the registry's log2 bucketing: bucket = bitlen(v)
+			b := 0
+			for x := v; x > 0; x >>= 1 {
+				b++
+			}
+			h.Buckets[b]++
+			h.Count++
+			h.Sum += v
+		}
+		return h
+	}
+	a := metrics.Snapshot{Histograms: map[string]metrics.HistSnapshot{"h": mkHist(1, 6)}}
+	b := metrics.Snapshot{Histograms: map[string]metrics.HistSnapshot{"h": mkHist(6, 100)}}
+	m := Merge(a, b)
+	h := m.Histograms["h"]
+	if h.Count != 4 || h.Sum != 113 {
+		t.Fatalf("merged count/sum = %d/%d, want 4/113", h.Count, h.Sum)
+	}
+	// Bucket holding 6 (bitlen 3) must have the observations of BOTH
+	// sources — the old last-wins merge lost one.
+	if h.Buckets[3] != 2 {
+		t.Fatalf("bucket 3 = %d, want 2 (bucket-wise sum)", h.Buckets[3])
+	}
+	var total uint64
+	for _, c := range h.Buckets {
+		total += c
+	}
+	if total != h.Count {
+		t.Fatalf("bucket total %d != count %d", total, h.Count)
+	}
+}
+
+func TestMergeDisjointSets(t *testing.T) {
+	a := metrics.Snapshot{
+		Counters:   map[string]uint64{"only.a": 1},
+		Histograms: map[string]metrics.HistSnapshot{"ha": {Count: 1, Sum: 2}},
+	}
+	b := metrics.Snapshot{
+		Gauges:     map[string]int64{"only.b": -9},
+		Histograms: map[string]metrics.HistSnapshot{"hb": {Count: 3, Sum: 4}},
+	}
+	m := Merge(a, b)
+	if m.Counters["only.a"] != 1 || m.Gauges["only.b"] != -9 {
+		t.Fatalf("disjoint scalars lost: %+v", m)
+	}
+	if m.Histograms["ha"].Count != 1 || m.Histograms["hb"].Count != 3 {
+		t.Fatalf("disjoint histograms lost: %+v", m.Histograms)
+	}
+}
+
+// TestCloseDrainsSlowScrape is the regression test for the graceful
+// shutdown: a scrape whose snapshot source is slow must complete with a
+// full body even when Close lands mid-request.
+func TestCloseDrainsSlowScrape(t *testing.T) {
+	slow := func() metrics.Snapshot {
+		time.Sleep(300 * time.Millisecond)
+		return metrics.Snapshot{Counters: map[string]uint64{"slow.scrape": 1}}
+	}
+	s, err := Serve("127.0.0.1:0", slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		body string
+		code int
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/metrics")
+		if err != nil {
+			ch <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		ch <- result{body: string(body), code: resp.StatusCode, err: err}
+	}()
+	time.Sleep(100 * time.Millisecond) // request is now in-flight, inside the slow source
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("in-flight scrape failed across Close: %v", r.err)
+	}
+	if r.code != http.StatusOK || !strings.Contains(r.body, "slow_scrape 1") {
+		t.Fatalf("scrape truncated: status %d body %q", r.code, r.body)
+	}
+}
+
+// clusterStub satisfies ClusterSource for endpoint tests.
+type clusterStub struct{ perRank map[int]metrics.Snapshot }
+
+func (c clusterStub) ClusterJSON() any {
+	return map[string]any{"schema": "stub", "ranks": len(c.perRank)}
+}
+func (c clusterStub) RankSnapshots() map[int]metrics.Snapshot { return c.perRank }
+
+func TestServeClusterEndpoints(t *testing.T) {
+	cs := clusterStub{perRank: map[int]metrics.Snapshot{
+		0: {Counters: map[string]uint64{"rt.task.executed": 11}},
+		1: {Counters: map[string]uint64{"rt.task.executed": 22}},
+	}}
+	local := func() metrics.Snapshot {
+		return metrics.Snapshot{Counters: map[string]uint64{"rt.task.executed": 11}}
+	}
+	s, err := ServeCluster("127.0.0.1:0", cs, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if body := get("/cluster.json"); !strings.Contains(body, `"schema":"stub"`) {
+		t.Fatalf("/cluster.json body: %s", body)
+	}
+	body := get("/metrics")
+	if !strings.Contains(body, `rt_task_executed{rank="0"} 11`) ||
+		!strings.Contains(body, `rt_task_executed{rank="1"} 22`) {
+		t.Fatalf("/metrics lacks rank series:\n%s", body)
+	}
+	if body := get("/metrics/self"); !strings.Contains(body, "rt_task_executed 11") {
+		t.Fatalf("/metrics/self not unlabelled:\n%s", body)
+	}
+	if body := get("/snapshot.json"); !strings.Contains(body, `"rt.task.executed":11`) {
+		t.Fatalf("/snapshot.json body: %s", body)
+	}
+}

@@ -1,0 +1,272 @@
+package telemetry
+
+import "fmt"
+
+// Event is one structured occurrence in the telemetry plane: a detector
+// firing or a lifecycle transition (rank death, abort, epoch change…).
+type Event struct {
+	TsNs     int64   `json:"ts_ns"`
+	Kind     string  `json:"kind"`
+	Rank     int     `json:"rank"`
+	Value    float64 `json:"value,omitempty"`
+	Baseline float64 `json:"baseline,omitempty"`
+	Msg      string  `json:"msg,omitempty"`
+}
+
+// Detector event kinds.
+const (
+	EvStraggler    = "straggler"
+	EvQueueSpike   = "queue_spike"
+	EvStealStorm   = "steal_storm"
+	EvRetransSurge = "retransmit_surge"
+)
+
+// Metric columns the detectors watch. They degrade gracefully: a deployment
+// that never registers a column simply never fires that detector.
+const (
+	colTasks   = "rt.task.executed"
+	colPending = "termdet.pending"
+	colSteals  = "comm.steal_reqs"
+	colRetrans = "comm.retransmits"
+)
+
+// DetectorConfig tunes the online anomaly detectors. Zero fields take the
+// documented defaults.
+type DetectorConfig struct {
+	// StragglerFrac: a rank is a straggler when its per-interval task rate
+	// stays below this fraction of the live-rank median. Default 0.4.
+	StragglerFrac float64
+	// StragglerMin: consecutive below-threshold intervals before the
+	// straggler event fires. Default 3.
+	StragglerMin int
+	// ZThreshold: z-score (vs. the per-rank EWMA baseline) above which the
+	// spike/storm/surge detectors fire. Default 4.
+	ZThreshold float64
+	// MinSamples: intervals of baseline before z-detectors may fire.
+	// Default 5.
+	MinSamples int
+	// QueueMin/StealMin/RetransMin: absolute floors — a z-score excursion
+	// below the floor never fires (tiny baselines make huge z-scores).
+	// Defaults 64 pending tasks, 16 steal requests, 8 retransmits.
+	QueueMin, StealMin, RetransMin float64
+	// Cooldown: intervals a (kind, rank) pair stays quiet after firing.
+	// Default 8.
+	Cooldown int
+}
+
+func (c *DetectorConfig) defaults() {
+	if c.StragglerFrac <= 0 {
+		c.StragglerFrac = 0.4
+	}
+	if c.StragglerMin <= 0 {
+		c.StragglerMin = 3
+	}
+	if c.ZThreshold <= 0 {
+		c.ZThreshold = 4
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 5
+	}
+	if c.QueueMin <= 0 {
+		c.QueueMin = 64
+	}
+	if c.StealMin <= 0 {
+		c.StealMin = 16
+	}
+	if c.RetransMin <= 0 {
+		c.RetransMin = 8
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 8
+	}
+}
+
+// ewma is an exponentially-weighted mean/variance baseline (α = 0.2).
+type ewma struct {
+	mean, varr float64
+	n          int
+}
+
+const ewmaAlpha = 0.2
+
+func (e *ewma) observe(x float64) (z float64) {
+	if e.n == 0 {
+		e.mean = x
+		e.n = 1
+		return 0
+	}
+	sd := e.sd()
+	if sd > 0 {
+		z = (x - e.mean) / sd
+	} else if x > e.mean {
+		z = inf
+	}
+	d := x - e.mean
+	e.mean += ewmaAlpha * d
+	e.varr = (1 - ewmaAlpha) * (e.varr + ewmaAlpha*d*d)
+	e.n++
+	return z
+}
+
+func (e *ewma) sd() float64 {
+	if e.varr <= 0 {
+		return 0
+	}
+	// Newton's iteration is overkill; this baseline only gates alerts.
+	x := e.varr
+	g := x
+	for i := 0; i < 20; i++ {
+		g = 0.5 * (g + x/g)
+	}
+	return g
+}
+
+const inf = 1e308
+
+// rankDetState is the per-rank detector state.
+type rankDetState struct {
+	lastVals   map[string]float64 // previous cumulative reading per watched column
+	havePrev   bool
+	slowRuns   int // consecutive below-median-rate intervals
+	base       map[string]*ewma
+	cooldownAt map[string]uint64 // detector kind → seq until which it is quiet
+	lastRate   float64           // most recent task rate (tasks/sec), for the straggler median
+	haveRate   bool
+}
+
+// detectors runs all online anomaly detectors; the owner (Aggregator)
+// serializes calls.
+type detectors struct {
+	cfg   DetectorConfig
+	state map[int]*rankDetState
+}
+
+func newDetectors(cfg DetectorConfig) *detectors {
+	cfg.defaults()
+	return &detectors{cfg: cfg, state: map[int]*rankDetState{}}
+}
+
+// observe processes rank r's newest interval and returns any events raised.
+// live maps every non-dead rank to its series (for the straggler median).
+func (d *detectors) observe(live map[int]*rankSeries, r int, rs *rankSeries, tsNs int64) []Event {
+	st := d.state[r]
+	if st == nil {
+		st = &rankDetState{
+			lastVals:   map[string]float64{},
+			base:       map[string]*ewma{},
+			cooldownAt: map[string]uint64{},
+		}
+		d.state[r] = st
+	}
+	last := rs.ring.last()
+	if last == nil {
+		return nil
+	}
+	cur := map[string]float64{}
+	for i, c := range rs.schema.cols {
+		switch c.Name {
+		case colTasks, colPending, colSteals, colRetrans:
+			if i < len(last.vals) {
+				cur[c.Name] = last.vals[i]
+			}
+		}
+	}
+	// Interval duration: difference of the two newest timestamps; fall back
+	// to the default interval for the first sample.
+	dtNs := int64(DefaultInterval)
+	if rs.ring.n >= 2 {
+		if dt := rs.ring.at(rs.ring.n-1).tsNs - rs.ring.at(rs.ring.n-2).tsNs; dt > 0 {
+			dtNs = dt
+		}
+	}
+	var evs []Event
+	fire := func(kind string, v, baseline float64, msg string) {
+		if last.seq < st.cooldownAt[kind] {
+			return
+		}
+		st.cooldownAt[kind] = last.seq + uint64(d.cfg.Cooldown)
+		evs = append(evs, Event{TsNs: tsNs, Kind: kind, Rank: r, Value: v, Baseline: baseline, Msg: msg})
+	}
+
+	if st.havePrev {
+		dt := float64(dtNs) / 1e9
+
+		// Straggler: per-interval task completion rate vs. live median.
+		if _, ok := cur[colTasks]; ok {
+			rate := (cur[colTasks] - st.lastVals[colTasks]) / dt
+			st.lastRate, st.haveRate = rate, true
+			med, nLive := d.medianRate(live, r)
+			if nLive >= 1 && med > 0 && rate < d.cfg.StragglerFrac*med {
+				st.slowRuns++
+				if st.slowRuns >= d.cfg.StragglerMin {
+					fire(EvStraggler, rate, med, fmt.Sprintf(
+						"rank %d at %.0f tasks/s vs cluster median %.0f for %d intervals", r, rate, med, st.slowRuns))
+				}
+			} else {
+				st.slowRuns = 0
+			}
+		}
+
+		// Queue backlog spike: pending-task gauge level.
+		if v, ok := cur[colPending]; ok {
+			d.zDetect(st, fire, EvQueueSpike, v, d.cfg.QueueMin,
+				fmt.Sprintf("rank %d pending backlog %.0f", r, v))
+		}
+		// Steal storm: steal-request rate.
+		if v, ok := cur[colSteals]; ok {
+			dd := v - st.lastVals[colSteals]
+			d.zDetect(st, fire, EvStealStorm, dd, d.cfg.StealMin,
+				fmt.Sprintf("rank %d issued %.0f steal requests in one interval", r, dd))
+		}
+		// Retransmit surge: link-layer retransmission rate.
+		if v, ok := cur[colRetrans]; ok {
+			dd := v - st.lastVals[colRetrans]
+			d.zDetect(st, fire, EvRetransSurge, dd, d.cfg.RetransMin,
+				fmt.Sprintf("rank %d retransmitted %.0f frames in one interval", r, dd))
+		}
+	}
+	for k, v := range cur {
+		st.lastVals[k] = v
+	}
+	st.havePrev = true
+	return evs
+}
+
+// zDetect updates the EWMA baseline for kind and fires when the excursion
+// clears both the z-threshold and the absolute floor.
+func (d *detectors) zDetect(st *rankDetState, fire func(string, float64, float64, string), kind string, v, floor float64, msg string) {
+	b := st.base[kind]
+	if b == nil {
+		b = &ewma{}
+		st.base[kind] = b
+	}
+	baseline := b.mean
+	z := b.observe(v)
+	if b.n > d.cfg.MinSamples && z >= d.cfg.ZThreshold && v >= floor {
+		fire(kind, v, baseline, msg)
+	}
+}
+
+// medianRate returns the median task rate across live ranks other than
+// excl, and how many contributed.
+func (d *detectors) medianRate(live map[int]*rankSeries, excl int) (float64, int) {
+	var rates []float64
+	for r := range live {
+		if r == excl {
+			continue
+		}
+		if st := d.state[r]; st != nil && st.haveRate {
+			rates = append(rates, st.lastRate)
+		}
+	}
+	if len(rates) == 0 {
+		return 0, 0
+	}
+	// insertion sort: rank counts are small
+	for i := 1; i < len(rates); i++ {
+		for j := i; j > 0 && rates[j] < rates[j-1]; j-- {
+			rates[j], rates[j-1] = rates[j-1], rates[j]
+		}
+	}
+	return rates[len(rates)/2], len(rates)
+}

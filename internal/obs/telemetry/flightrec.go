@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// FlightDump is the post-mortem document written by the flight recorder:
+// this rank's recent telemetry intervals plus the lifecycle event log, and —
+// when rank 0 dumps on behalf of a dead peer — the whole cluster model, so
+// the dead rank's final streamed intervals survive its process.
+type FlightDump struct {
+	Schema   string       `json:"schema"` // "gottg.flight/v1"
+	Rank     int          `json:"rank"`
+	Reason   string       `json:"reason"`
+	DumpedAt int64        `json:"dumped_at_ns"`
+	Events   []Event      `json:"events,omitempty"`
+	Local    RankView     `json:"local"`
+	Cluster  *ClusterView `json:"cluster,omitempty"`
+}
+
+// Recorder is the per-rank flight recorder: a handle on the local sampler's
+// ring plus its own bounded lifecycle-event log. Dump writes the JSON
+// post-mortem; each (rank, reason) pair dumps at most once per run.
+type Recorder struct {
+	mu      sync.Mutex
+	rank    int
+	dir     string
+	sampler *Sampler
+	agg     *Aggregator // rank 0 only: cluster model included in dumps
+	events  []Event
+	evCap   int
+	dumped  map[string]bool
+	lastOut string
+}
+
+// NewRecorder builds a recorder writing dumps into dir (created on first
+// dump; "." when empty).
+func NewRecorder(rank int, dir string, s *Sampler, agg *Aggregator) *Recorder {
+	if dir == "" {
+		dir = "."
+	}
+	return &Recorder{rank: rank, dir: dir, sampler: s, agg: agg, evCap: 512, dumped: map[string]bool{}}
+}
+
+// Note appends a lifecycle event to the recorder's bounded log.
+func (rec *Recorder) Note(e Event) {
+	rec.mu.Lock()
+	if len(rec.events) >= rec.evCap {
+		copy(rec.events, rec.events[1:])
+		rec.events = rec.events[:rec.evCap-1]
+	}
+	rec.events = append(rec.events, e)
+	rec.mu.Unlock()
+}
+
+// Dump writes the post-mortem file and returns its path. A reason that has
+// already been dumped by this recorder is a no-op returning the prior path:
+// lifecycle hooks can fire more than once (e.g. several rank deaths), and
+// each occurrence of the same reason would only rewrite near-identical
+// state. Reasons embed the subject rank ("rank_dead_2") where multiplicity
+// matters.
+func (rec *Recorder) Dump(reason string) (string, error) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.dumped[reason] {
+		return rec.lastOut, nil
+	}
+	d := FlightDump{
+		Schema:   "gottg.flight/v1",
+		Rank:     rec.rank,
+		Reason:   reason,
+		DumpedAt: time.Now().UnixNano(),
+		Events:   append([]Event(nil), rec.events...),
+	}
+	if rec.sampler != nil {
+		d.Local = rec.sampler.View()
+	} else {
+		d.Local = RankView{Rank: rec.rank}
+	}
+	if rec.agg != nil {
+		if cv, ok := rec.agg.ClusterJSON().(ClusterView); ok {
+			d.Cluster = &cv
+		}
+	}
+	if err := os.MkdirAll(rec.dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(rec.dir, fmt.Sprintf("flight-rank%d-%s-%d.json", rec.rank, reason, os.Getpid()))
+	buf, err := json.MarshalIndent(d, "", " ")
+	if err != nil {
+		return "", err
+	}
+	// Write-then-rename so watchers (the CI smoke test polls the directory)
+	// never observe a torn file.
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", err
+	}
+	rec.dumped[reason] = true
+	rec.lastOut = path
+	return path, nil
+}

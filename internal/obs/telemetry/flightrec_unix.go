@@ -1,0 +1,32 @@
+//go:build unix
+
+package telemetry
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ArmSIGQUIT installs a SIGQUIT handler that dumps the flight recorder and
+// then restores the default disposition and re-raises, preserving Go's
+// stock behaviour (full goroutine dump + exit) after the post-mortem file
+// is on disk. Returns a disarm function.
+func (p *Plane) ArmSIGQUIT() func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGQUIT)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ch:
+			p.DumpFlight("sigquit")
+			signal.Reset(syscall.SIGQUIT)
+			syscall.Kill(syscall.Getpid(), syscall.SIGQUIT)
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
+}

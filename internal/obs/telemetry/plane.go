@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+
+	"gottg/internal/metrics"
+)
+
+// Options configures a rank's telemetry plane.
+type Options struct {
+	// Interval between samples (DefaultInterval when zero).
+	Interval time.Duration
+	// Window is the per-rank interval ring size (DefaultWindow when zero).
+	Window int
+	// FlightDir receives flight-recorder dumps ("." when empty).
+	FlightDir string
+	// Detectors tunes the rank-0 anomaly detectors.
+	Detectors DetectorConfig
+}
+
+// Plane is one rank's end of the telemetry system: the sampler, the flight
+// recorder, and — on rank 0 — the cluster aggregator. Start it after the
+// metrics registries exist and before the comm endpoint starts (rank 0
+// installs the frame handler on the wire); Stop it after the run drains.
+type Plane struct {
+	rank    int
+	sampler *Sampler
+	agg     *Aggregator // nil on ranks != 0
+	rec     *Recorder
+}
+
+// Start builds and launches the plane for this rank. snap must return the
+// rank's merged metrics snapshot (runtime + wire); wire may be nil for
+// purely local (single-process) use, in which case every rank behaves like
+// rank 0 without a cluster model.
+func Start(wire Wire, snap func() metrics.Snapshot, o Options) *Plane {
+	rank, size := 0, 1
+	if wire != nil {
+		rank, size = wire.Rank(), wire.Size()
+	}
+	p := &Plane{rank: rank}
+	if rank == 0 {
+		p.agg = NewAggregator(size, o.Window, o.Detectors)
+		if wire != nil {
+			wire.SetTelemetryHandler(p.agg.HandleFrame)
+		}
+	}
+	p.sampler = NewSampler(rank, snap, o.Interval, o.Window, wire, p.agg)
+	p.rec = NewRecorder(rank, o.FlightDir, p.sampler, p.agg)
+	p.sampler.Start()
+	return p
+}
+
+// Stop halts sampling after one final flushed sample. Idempotent.
+func (p *Plane) Stop() { p.sampler.Stop() }
+
+// Sampler returns the local sampler (never nil).
+func (p *Plane) Sampler() *Sampler { return p.sampler }
+
+// Aggregator returns the cluster model, nil on ranks other than 0.
+func (p *Plane) Aggregator() *Aggregator { return p.agg }
+
+// Recorder returns the flight recorder (never nil).
+func (p *Plane) Recorder() *Recorder { return p.rec }
+
+// OnEvent feeds one lifecycle event into the plane. It is shaped to slot
+// directly under core.Graph.SetEventHook. Beyond logging, some kinds have
+// side effects:
+//
+//   - "rank_dead": rank 0 marks the rank dead in the cluster model and dumps
+//     a flight record containing the dead rank's final streamed intervals
+//     (the dead process cannot dump for itself under SIGKILL); other ranks
+//     dump locally when the coordinator (rank 0) is the casualty, since the
+//     cluster model died with it.
+//   - "abort", "killed": the local rank dumps its own flight record before
+//     the runtime tears down.
+func (p *Plane) OnEvent(kind string, rank int, detail string) {
+	e := Event{TsNs: time.Now().UnixNano(), Kind: kind, Rank: rank, Msg: detail}
+	p.rec.Note(e)
+	if p.agg != nil {
+		p.agg.Note(e)
+	}
+	switch kind {
+	case "rank_dead":
+		if p.agg != nil {
+			p.agg.MarkDead(rank, 0)
+			// Flush the local series first so rank 0's own final intervals
+			// are in the cluster model embedded in the dump.
+			p.sampler.SampleNow()
+			p.rec.Dump(fmt.Sprintf("rank_dead_%d", rank))
+		} else if rank == 0 {
+			p.rec.Dump("coordinator_dead")
+		}
+	case "abort", "killed":
+		p.sampler.SampleNow()
+		p.rec.Dump(kind)
+	}
+}
+
+// DumpFlight forces a flight-recorder dump with the given reason, returning
+// the file path.
+func (p *Plane) DumpFlight(reason string) (string, error) {
+	p.sampler.SampleNow()
+	return p.rec.Dump(reason)
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Telemetry interval frame, little-endian:
+//
+//	u8  version (frameVersion)
+//	u32 rank
+//	u64 seq        (per-rank interval sequence, starts at 1)
+//	u64 epoch      (membership epoch at sampling time; 0 when unknown)
+//	i64 tsNs       (sample wall-clock, UnixNano)
+//	u32 ncols
+//	ncols × { u8 kind, u16 len(name), name bytes, u64 float64-bits (cumulative value) }
+//
+// Frames are self-describing: every frame carries its full column set, so
+// any single frame reconstructs the rank's current totals — the stream
+// survives arbitrary loss and reordering, at ~2KB per frame for the
+// runtime's ~40 metric columns. Values are cumulative, never deltas;
+// the receiver differences consecutive accepted frames itself.
+const frameVersion = 1
+
+// maxFrameCols bounds decode against corrupt or truncated payloads.
+const maxFrameCols = 4096
+
+// encodeFrame appends one interval frame to dst and returns it.
+func encodeFrame(dst []byte, rank int, seq, epoch uint64, tsNs int64, cols []Col, vals []float64) []byte {
+	dst = append(dst, frameVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(rank))
+	dst = binary.LittleEndian.AppendUint64(dst, seq)
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(tsNs))
+	n := len(cols)
+	if n > len(vals) {
+		n = len(vals)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(cols[i].Kind))
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(cols[i].Name)))
+		dst = append(dst, cols[i].Name...)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(vals[i]))
+	}
+	return dst
+}
+
+// frame is one decoded telemetry interval.
+type frame struct {
+	rank  int
+	seq   uint64
+	epoch uint64
+	tsNs  int64
+	cols  []Col
+	vals  []float64
+}
+
+// decodeFrame parses a telemetry payload. Corrupt input yields an error,
+// never a panic: frames ride the best-effort path and may be duplicated or
+// (under injected faults) arbitrarily mangled.
+func decodeFrame(p []byte) (frame, error) {
+	var f frame
+	const header = 1 + 4 + 8 + 8 + 8 + 4
+	if len(p) < header {
+		return f, fmt.Errorf("telemetry: frame too short (%d bytes)", len(p))
+	}
+	if p[0] != frameVersion {
+		return f, fmt.Errorf("telemetry: unknown frame version %d", p[0])
+	}
+	f.rank = int(binary.LittleEndian.Uint32(p[1:]))
+	f.seq = binary.LittleEndian.Uint64(p[5:])
+	f.epoch = binary.LittleEndian.Uint64(p[13:])
+	f.tsNs = int64(binary.LittleEndian.Uint64(p[21:]))
+	ncols := int(binary.LittleEndian.Uint32(p[29:]))
+	if ncols < 0 || ncols > maxFrameCols {
+		return f, fmt.Errorf("telemetry: implausible column count %d", ncols)
+	}
+	off := header
+	f.cols = make([]Col, 0, ncols)
+	f.vals = make([]float64, 0, ncols)
+	for i := 0; i < ncols; i++ {
+		if off+3 > len(p) {
+			return f, fmt.Errorf("telemetry: truncated column header at %d", off)
+		}
+		kind := ColKind(p[off])
+		nameLen := int(binary.LittleEndian.Uint16(p[off+1:]))
+		off += 3
+		if off+nameLen+8 > len(p) {
+			return f, fmt.Errorf("telemetry: truncated column body at %d", off)
+		}
+		name := string(p[off : off+nameLen])
+		off += nameLen
+		v := math.Float64frombits(binary.LittleEndian.Uint64(p[off:]))
+		off += 8
+		if kind != KindCounter && kind != KindGauge {
+			return f, fmt.Errorf("telemetry: unknown column kind %d", kind)
+		}
+		f.cols = append(f.cols, Col{Name: name, Kind: kind})
+		f.vals = append(f.vals, v)
+	}
+	return f, nil
+}

@@ -10,8 +10,21 @@ import (
 	"gottg/internal/comm"
 	"gottg/internal/comm/tcptransport"
 	"gottg/internal/core"
+	"gottg/internal/metrics"
+	"gottg/internal/obs"
+	"gottg/internal/obs/telemetry"
 	"gottg/internal/rt"
 )
+
+// waitCoverage polls the cluster model until want ranks have reported (or
+// the deadline passes): a short grace period for final best-effort frames
+// still in flight when the sequenced drain completed.
+func waitCoverage(a *telemetry.Aggregator, want int, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for a.Coverage() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}
 
 // The network runner: one OS process (or, in tests, one goroutine bundle)
 // per rank, a comm.Transport between them, and the same Task-Bench Point TT
@@ -62,6 +75,19 @@ type NetOptions struct {
 	// calls a self-SIGKILL here. Zero disables.
 	KillAfterTasks int64
 	KillFunc       func()
+
+	// Telemetry enables the cluster telemetry plane: runtime and wire
+	// metrics on, a per-rank interval sampler, cross-rank streaming to rank
+	// 0, detectors, and the flight recorder.
+	Telemetry bool
+	// TelemetryInterval is the sampling period (default 250ms).
+	TelemetryInterval time.Duration
+	// ObsAddr, on rank 0, serves the cluster observability endpoint
+	// (/cluster.json, rank-labelled /metrics) on this address. Empty
+	// disables the HTTP surface; the plane still runs.
+	ObsAddr string
+	// FlightDir receives flight-recorder dumps ("." when empty).
+	FlightDir string
 }
 
 // NetRankResult is one rank's contribution to a network run, shaped for
@@ -86,6 +112,13 @@ type NetRankResult struct {
 	StealAborts  int64  `json:"steal_aborts,omitempty"` // aborted attempts seen by this rank
 	Drained      bool   `json:"drained"`
 	Err          string `json:"err,omitempty"`
+
+	// Telemetry-plane statistics (zero when NetOptions.Telemetry is off).
+	TelemetrySamples  int64  `json:"telemetry_samples,omitempty"`  // intervals sampled locally
+	TelemetryFrames   int64  `json:"telemetry_frames,omitempty"`   // frames streamed to rank 0
+	TelemetryCoverage int    `json:"telemetry_coverage,omitempty"` // rank 0: ranks seen in the cluster model
+	TelemetryEvents   int    `json:"telemetry_events,omitempty"`   // rank 0: cluster events recorded
+	ObsURL            string `json:"obs_url,omitempty"`            // rank 0: cluster endpoint address
 }
 
 // RunDistributedTTGRank runs this process's rank of the Task-Bench spec
@@ -112,6 +145,9 @@ func RunDistributedTTGRank(s Spec, tr comm.Transport, o NetOptions) (NetRankResu
 	if o.RTO > 0 {
 		world.SetRetransmitTimeout(o.RTO)
 	}
+	if o.Telemetry {
+		world.EnableMetrics()
+	}
 	mapper := func(key uint64) int {
 		_, p := core.Unpack2(key)
 		return int(p) * ranks / s.Width
@@ -136,6 +172,37 @@ func RunDistributedTTGRank(s Spec, tr comm.Transport, o NetOptions) (NetRankResu
 	}
 	if o.Steal && ranks > 1 {
 		g.EnableWorkStealing()
+	}
+	var plane *telemetry.Plane
+	var obsSrv *obs.Server
+	if o.Telemetry {
+		g.EnableMetrics()
+		snap := func() metrics.Snapshot {
+			return obs.Merge(g.MetricsSnapshot(), world.MetricsSnapshot())
+		}
+		// Start before MakeExecutable: rank 0's frame handler must be on the
+		// wire before any peer frame can arrive.
+		plane = telemetry.Start(world.Proc(self), snap, telemetry.Options{
+			Interval:  o.TelemetryInterval,
+			FlightDir: o.FlightDir,
+		})
+		g.SetEventHook(plane.OnEvent)
+		defer plane.ArmSIGQUIT()()
+		world.SetPeerEventHook(func(ev comm.PeerEvent) {
+			detail := ""
+			if ev.Err != nil {
+				detail = ev.Err.Error()
+			}
+			plane.OnEvent("peer_"+ev.Kind.String(), ev.Peer, detail)
+		})
+		if self == 0 && o.ObsAddr != "" {
+			srv, err := obs.ServeCluster(o.ObsAddr, plane.Aggregator(), snap)
+			if err != nil {
+				return res, err
+			}
+			obsSrv = srv
+			res.ObsURL = srv.Addr()
+		}
 	}
 	point := buildPointTT(g, s, mapper, record)
 
@@ -171,6 +238,24 @@ func RunDistributedTTGRank(s Spec, tr comm.Transport, o NetOptions) (NetRankResu
 		drainTimeout = 5 * time.Second
 	}
 	res.Drained = world.Drain(drainTimeout)
+
+	if plane != nil {
+		// Give straggling final frames a beat to arrive at rank 0, then take
+		// the closing sample (non-zero ranks flush it to rank 0 — the drain
+		// above only guarantees sequenced traffic, so the flush is
+		// best-effort by design).
+		plane.Stop()
+		if self == 0 {
+			waitCoverage(plane.Aggregator(), ranks-int(world.Deaths()), drainTimeout)
+			res.TelemetryCoverage = plane.Aggregator().Coverage()
+			res.TelemetryEvents = len(plane.Aggregator().Events())
+		}
+		res.TelemetrySamples = plane.Sampler().Samples()
+		res.TelemetryFrames = plane.Sampler().Frames()
+		if obsSrv != nil {
+			obsSrv.Close()
+		}
+	}
 
 	exec, _, _ := g.Runtime().Stats()
 	res.Tasks = exec
